@@ -1,0 +1,150 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation isolates one lever of the fairness story:
+
+* **inflation** — C-PoS unfairness as v sweeps 0 -> 10w (Fig 5d logic);
+* **shards** — C-PoS unfairness as P sweeps 1 -> 64 (Thm 4.10's 1/P);
+* **vesting** — withholding period sweep on FSL-PoS (Sec 6.3);
+* **reward size** — the ML-PoS Beta-limit width vs w (Thm 4.3);
+* **storage weight** — Filecoin's PoW<->ML-PoS interpolation (Sec 6.4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols import (
+    CompoundPoS,
+    FairSingleLotteryPoS,
+    FilecoinStorage,
+    MultiLotteryPoS,
+    RewardWithholding,
+)
+from repro.sim.engine import simulate
+from repro.theory.polya import ml_pos_limit_std
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return Allocation.two_miners(0.2)
+
+
+def test_ablation_inflation(run_once, allocation):
+    """Unfair probability must fall monotonically as inflation grows."""
+
+    def sweep():
+        unfair = {}
+        for inflation in (0.0, 0.01, 0.1, 0.2):
+            result = simulate(
+                CompoundPoS(0.01, inflation, 32), allocation,
+                1500, trials=800, seed=31,
+            )
+            unfair[inflation] = result.robust_verdict().unfair_probability
+        return unfair
+
+    unfair = run_once(sweep)
+    values = [unfair[v] for v in (0.0, 0.01, 0.1, 0.2)]
+    assert values[0] > values[2]
+    assert values[2] >= values[3] - 0.02  # monotone up to noise
+    assert unfair[0.1] < 0.15
+
+
+def test_ablation_shards(run_once, allocation):
+    """Unfair probability must fall as the shard count grows (1/P law)."""
+
+    def sweep():
+        unfair = {}
+        for shards in (1, 4, 16, 64):
+            result = simulate(
+                CompoundPoS(0.05, 0.0, shards), allocation,
+                1000, trials=800, seed=32,
+            )
+            unfair[shards] = result.robust_verdict().unfair_probability
+        return unfair
+
+    unfair = run_once(sweep)
+    assert unfair[64] < unfair[16] < unfair[1]
+
+
+def test_ablation_vesting_period(run_once, allocation):
+    """Longer vesting periods freeze stakes longer and tighten lambda."""
+
+    def sweep():
+        spread = {}
+        for period in (100, 500, 2000):
+            result = simulate(
+                RewardWithholding(FairSingleLotteryPoS(0.01), period),
+                allocation, 2000, trials=800, seed=33,
+            )
+            spread[period] = float(result.final_fractions().std())
+        return spread
+
+    spread = run_once(sweep)
+    assert spread[2000] < spread[500] < spread[100]
+
+
+def test_ablation_reward_size_matches_beta_limit(run_once, allocation):
+    """ML-PoS terminal spread tracks the Beta-limit std across w."""
+
+    def sweep():
+        measured = {}
+        for reward in (1e-3, 1e-2, 1e-1):
+            result = simulate(
+                MultiLotteryPoS(reward), allocation,
+                3000, trials=800, seed=34,
+            )
+            measured[reward] = float(result.final_fractions().std())
+        return measured
+
+    measured = run_once(sweep)
+    for reward, spread in measured.items():
+        assert spread == pytest.approx(
+            ml_pos_limit_std(0.2, reward), rel=0.35
+        )
+    assert measured[1e-3] < measured[1e-2] < measured[1e-1]
+
+
+def test_ablation_topup_timing(run_once, allocation):
+    """Early stake matters more than late stake under compounding.
+
+    Section 5.4.2: "allocating more initial stakes in the early stage
+    of the mining process [helps] robust fairness" — equivalently, the
+    same top-up buys more reward the earlier it lands, because it
+    compounds through the Polya-urn feedback.
+    """
+    from repro.sim.events import StakeTopUp
+
+    def sweep():
+        horizon, amount = 2000, 0.25
+        means = {}
+        for label, at_round in (("early", 0), ("late", horizon // 2)):
+            result = simulate(
+                MultiLotteryPoS(0.01), allocation, horizon,
+                trials=1500, seed=36,
+                events=[StakeTopUp(round_index=at_round, miner=0,
+                                   amount=amount)],
+            )
+            means[label] = float(result.final_fractions().mean())
+        return means
+
+    means = run_once(sweep)
+    assert means["early"] > means["late"] + 0.02
+    # Both exceed the untouched share of 0.2.
+    assert means["late"] > 0.2
+
+
+def test_ablation_storage_weight(run_once, allocation):
+    """Filecoin interpolates between ML-PoS (theta=0) and PoW (theta=1)."""
+
+    def sweep():
+        spread = {}
+        for theta in (0.0, 0.5, 1.0):
+            result = simulate(
+                FilecoinStorage(0.05, storage_weight=theta), allocation,
+                1000, trials=800, seed=35,
+            )
+            spread[theta] = float(result.final_fractions().std())
+        return spread
+
+    spread = run_once(sweep)
+    assert spread[1.0] < spread[0.5] < spread[0.0]

@@ -1,0 +1,62 @@
+"""Benchmark: the node-level substrate (the paper's green system bars).
+
+Times a representative deployment of each protocol's mining network
+and checks the realised proposer statistics against the closed-form
+laws — the chainsim analogue of the Figure 2 system experiments.
+"""
+
+import pytest
+
+from repro.chainsim.harness import SystemExperiment
+from repro.core.miners import Allocation
+from repro.theory.win_probability import sl_pos_win_probability_two_miners
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return Allocation.two_miners(0.2)
+
+
+def test_system_pow(run_once, allocation):
+    experiment = SystemExperiment("pow", allocation, hash_rate_scale=20)
+    result = run_once(experiment.run, 100, 3, seed=1)
+    assert result.final_fractions().mean() == pytest.approx(0.2, abs=0.1)
+
+
+def test_system_ml_pos(run_once, allocation):
+    experiment = SystemExperiment("ml-pos", allocation)
+    result = run_once(experiment.run, 300, 10, seed=2)
+    assert result.final_fractions().mean() == pytest.approx(0.2, abs=0.06)
+
+
+def test_system_sl_pos(run_once, allocation):
+    experiment = SystemExperiment("sl-pos", allocation)
+    result = run_once(experiment.run, 500, 20, seed=3)
+    # Biased below a from the first block, decaying thereafter.
+    assert result.final_fractions().mean() < 0.14
+
+
+def test_system_fsl_pos(run_once, allocation):
+    experiment = SystemExperiment("fsl-pos", allocation)
+    result = run_once(experiment.run, 500, 20, seed=4)
+    assert result.final_fractions().mean() == pytest.approx(0.2, abs=0.05)
+
+
+def test_system_c_pos(run_once, allocation):
+    experiment = SystemExperiment("c-pos", allocation, shards=32)
+    result = run_once(experiment.run, 100, 10, seed=5)
+    final = result.final_fractions()
+    assert final.mean() == pytest.approx(0.2, abs=0.02)
+    assert final.std() < 0.02
+
+
+def test_sl_first_block_law(run_once, allocation):
+    # The deadline race's very first block reproduces Equation (1).
+    experiment = SystemExperiment("sl-pos", allocation)
+
+    def first_blocks():
+        return experiment.run(1, 300, checkpoints=[1], seed=6)
+
+    result = run_once(first_blocks)
+    expected = sl_pos_win_probability_two_miners(0.2, 0.8)
+    assert result.final_fractions().mean() == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,69 @@
+"""Microbenchmarks of the simulation engine's hot paths.
+
+These time the per-round cost of each protocol's vectorised step and
+the winner sampler — the numbers that determine how long a paper-scale
+figure regeneration takes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols import (
+    CompoundPoS,
+    MultiLotteryPoS,
+    ProofOfWork,
+    SingleLotteryPoS,
+)
+from repro.protocols.base import sample_winners
+
+TRIALS = 10_000
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return Allocation.two_miners(0.2)
+
+
+def test_sample_winners_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    probabilities = np.tile([0.2, 0.3, 0.5], (TRIALS, 1))
+    benchmark(sample_winners, probabilities, rng)
+
+
+def test_ml_pos_step(benchmark, allocation):
+    protocol = MultiLotteryPoS(0.01)
+    state = protocol.make_state(allocation, TRIALS)
+    rng = np.random.default_rng(2)
+    benchmark(protocol.step, state, rng)
+
+
+def test_sl_pos_step(benchmark, allocation):
+    protocol = SingleLotteryPoS(0.01)
+    state = protocol.make_state(allocation, TRIALS)
+    rng = np.random.default_rng(3)
+    benchmark(protocol.step, state, rng)
+
+
+def test_c_pos_step(benchmark, allocation):
+    protocol = CompoundPoS(0.01, 0.1, 32)
+    state = protocol.make_state(allocation, TRIALS)
+    rng = np.random.default_rng(4)
+    benchmark(protocol.step, state, rng)
+
+
+def test_pow_bulk_advance(benchmark, allocation):
+    # PoW's multinomial shortcut advances 1000 blocks per call.
+    protocol = ProofOfWork(0.01)
+    state = protocol.make_state(allocation, TRIALS)
+    rng = np.random.default_rng(5)
+    benchmark(protocol.advance_many, state, 1000, rng)
+
+
+def test_ten_miner_step(benchmark):
+    # Table 1's widest game: 10 miners.
+    allocation = Allocation.focal_vs_equal(0.2, 10)
+    protocol = MultiLotteryPoS(0.01)
+    state = protocol.make_state(allocation, TRIALS)
+    rng = np.random.default_rng(6)
+    benchmark(protocol.step, state, rng)

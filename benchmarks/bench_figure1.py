@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 1 (SL-PoS drift field and rest points)."""
+
+import numpy as np
+
+from repro.experiments import figure1
+
+
+def test_figure1_regeneration(run_once):
+    result = run_once(figure1.run, figure1.Figure1Config(points=101))
+    # Reproduced shape: drift negative below 1/2, positive above, zeros
+    # at {0, 1/2, 1} with stable/unstable/stable classification.
+    interior = (result.shares > 0) & (result.shares < 1)
+    below = result.shares < 0.5
+    above = result.shares > 0.5
+    assert np.all(result.drift[interior & below] < 0)
+    assert np.all(result.drift[interior & above] > 0)
+    assert [round(z, 4) for z, _ in result.zeros] == [0.0, 0.5, 1.0]
+    stabilities = [s.value for _, s in result.zeros]
+    assert stabilities == ["stable", "unstable", "stable"]

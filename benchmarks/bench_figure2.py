@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 2 (lambda_A evolution, four protocols)."""
+
+import pytest
+
+from repro.experiments import figure2
+
+
+@pytest.fixture(scope="module")
+def config_factory():
+    def make(preset):
+        return figure2.Figure2Config(preset=preset, seed=2021)
+
+    return make
+
+
+def test_figure2_regeneration(run_once, preset, config_factory):
+    result = run_once(figure2.run, config_factory(preset))
+    sim = result.simulation
+    # PoW: mean pinned at a, envelope inside the fair area by the end.
+    assert sim["PoW"].mean[-1] == pytest.approx(0.2, abs=0.02)
+    # ML-PoS: mean pinned, envelope persistently wide.
+    assert sim["ML-PoS"].mean[-1] == pytest.approx(0.2, abs=0.02)
+    assert sim["ML-PoS"].upper[-1] - sim["ML-PoS"].lower[-1] > 0.08
+    # SL-PoS: mean decays (rich get richer).
+    assert sim["SL-PoS"].mean[-1] < sim["SL-PoS"].mean[0]
+    assert sim["SL-PoS"].mean[-1] < 0.12
+    # C-PoS: mean pinned, envelope much narrower than ML-PoS.
+    assert sim["C-PoS"].mean[-1] == pytest.approx(0.2, abs=0.01)
+    c_width = sim["C-PoS"].upper[-1] - sim["C-PoS"].lower[-1]
+    ml_width = sim["ML-PoS"].upper[-1] - sim["ML-PoS"].lower[-1]
+    assert c_width < ml_width / 3

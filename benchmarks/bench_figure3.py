@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 3 (unfair probability vs share a)."""
+
+from repro.experiments import figure3
+
+
+def test_figure3_regeneration(run_once, preset):
+    result = run_once(
+        figure3.run, figure3.Figure3Config(preset=preset, seed=2021)
+    )
+    # PoW: unfair probability decays with n; richer miners converge
+    # no slower than poorer ones at the final checkpoint.
+    pow_small = result.series[("PoW", 0.1)]
+    pow_large = result.series[("PoW", 0.4)]
+    assert pow_small[-1] < pow_small[0]
+    assert pow_large[-1] <= pow_small[-1] + 0.05
+    # ML-PoS: plateaus above delta at w = 0.01.
+    assert result.series[("ML-PoS", 0.2)][-1] > 0.1
+    # SL-PoS: deteriorates to ~1 for every a < 0.5.
+    for share in (0.1, 0.2, 0.3, 0.4):
+        assert result.series[("SL-PoS", share)][-1] > 0.9
+    # C-PoS: far below ML-PoS at matched shares.
+    for share in (0.2, 0.3, 0.4):
+        assert (
+            result.series[("C-PoS", share)][-1]
+            < result.series[("ML-PoS", share)][-1]
+        )

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 4 (SL-PoS mean lambda_A decay)."""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+def test_figure4_regeneration(run_once, preset):
+    result = run_once(
+        figure4.run, figure4.Figure4Config(preset=preset, seed=2021)
+    )
+    # Panel (a): every a < 0.5 decays; larger a decays slower; a = 0.5
+    # is the symmetric fixed point.
+    for share in (0.1, 0.2, 0.3, 0.4):
+        assert result.by_share[share][-1] < share
+    assert result.by_share[0.1][-1] < result.by_share[0.4][-1]
+    assert result.by_share[0.5][-1] == pytest.approx(0.5, abs=0.05)
+    # Panel (b): decay accelerates with the block reward.
+    assert result.by_reward[1e-1][-1] < result.by_reward[1e-2][-1]
+    assert result.by_reward[1e-2][-1] < result.by_reward[1e-4][-1]

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 5 (unfair probability vs w and v)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5_regeneration(run_once, preset):
+    result = run_once(
+        figure5.run, figure5.Figure5Config(preset=preset, seed=2021)
+    )
+    # (a) ML-PoS: unfairness grows sharply with the block reward.
+    assert result.ml_pos_by_reward[1e-1][-1] > 0.6
+    assert result.ml_pos_by_reward[1e-1][-1] > result.ml_pos_by_reward[1e-4][-1]
+    # (b) SL-PoS: near-total unfairness regardless of the reward.
+    for series in result.sl_pos_by_reward.values():
+        assert series[-1] > 0.8
+    # (c) C-PoS beats ML-PoS at matched rewards.
+    for reward in (1e-2, 1e-1):
+        assert (
+            result.c_pos_by_reward[reward][-1]
+            < result.ml_pos_by_reward[reward][-1]
+        )
+    # (d) inflation dilutes proposer noise: v=0.1 beats v=0.
+    assert (
+        result.c_pos_by_inflation[0.1][-1]
+        <= result.c_pos_by_inflation[0.0][-1]
+    )

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 6 (FSL-PoS and reward withholding)."""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+def test_figure6_regeneration(run_once, preset):
+    result = run_once(
+        figure6.run, figure6.Figure6Config(preset=preset, seed=2021)
+    )
+    # (a) FSL-PoS restores expectational fairness...
+    assert result.fsl.mean[-1] == pytest.approx(0.2, abs=0.02)
+    # ...but its envelope stays wide at w = 0.01.
+    fsl_width = result.fsl.upper[-1] - result.fsl.lower[-1]
+    assert fsl_width > 0.05
+    # (b) withholding keeps the mean and collapses the envelope.
+    assert result.fsl_withholding.mean[-1] == pytest.approx(0.2, abs=0.02)
+    withheld_width = (
+        result.fsl_withholding.upper[-1] - result.fsl_withholding.lower[-1]
+    )
+    assert withheld_width < fsl_width

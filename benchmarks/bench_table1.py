@@ -1,0 +1,48 @@
+"""Benchmark: regenerate Table 1 (the multi-miner game)."""
+
+import math
+
+import pytest
+
+from repro.experiments import table1
+from repro.theory.polya import pow_fair_probability
+
+
+def test_table1_regeneration(run_once, preset):
+    config = table1.Table1Config(
+        preset=preset, seed=2021, miner_counts=(2, 5, 10)
+    )
+    result = run_once(table1.run, config)
+    cells = result.cells
+    horizon = preset.horizon(config.horizon)
+    # Avg of lambda_A: PoW / ML-PoS / C-PoS stay at 0.2 for any miner
+    # count; SL-PoS flips with A's relative position.
+    for protocol in ("PoW", "ML-PoS", "C-PoS"):
+        for count in (2, 5, 10):
+            assert cells[(protocol, count)].average_fraction == pytest.approx(
+                0.2, abs=0.03
+            )
+    assert cells[("SL-PoS", 2)].average_fraction < 0.1
+    assert cells[("SL-PoS", 5)].average_fraction == pytest.approx(0.2, abs=0.05)
+    assert cells[("SL-PoS", 10)].average_fraction > 0.25
+    # Unfair probability: PoW tracks the exact Binomial(horizon, a)
+    # prediction (-> 0 at paper scale); ML-PoS persistent; SL-PoS ~1
+    # (except possibly the symmetric 5-miner split); C-PoS below ML-PoS.
+    pow_expected = 1.0 - pow_fair_probability(0.2, horizon, 0.1)
+    for count in (2, 5, 10):
+        assert cells[("PoW", count)].unfair_probability == pytest.approx(
+            pow_expected, abs=0.05
+        )
+        assert (
+            cells[("C-PoS", count)].unfair_probability
+            < cells[("ML-PoS", count)].unfair_probability
+        )
+    assert cells[("SL-PoS", 2)].unfair_probability > 0.9
+    # Convergence time: C-PoS fastest; ML-PoS and SL-PoS never.
+    for count in (2, 5, 10):
+        assert math.isinf(cells[("ML-PoS", count)].convergence_time)
+        assert math.isinf(cells[("SL-PoS", count)].convergence_time)
+        assert (
+            cells[("C-PoS", count)].convergence_time
+            <= cells[("PoW", count)].convergence_time
+        )

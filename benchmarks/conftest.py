@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artefact (Figures 1-6, Table 1) has a ``bench_*`` module
+that (a) regenerates the artefact's numeric series through the
+experiment registry and (b) times the regeneration with
+pytest-benchmark.  Heavy experiments run once per benchmark
+(``pedantic`` with a single round) — the point is recording the
+reproduction and its cost, not microsecond timing stability.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_PRESET=paper`` for full paper-scale regeneration
+(minutes per figure) instead of the default CI scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_preset
+
+
+@pytest.fixture(scope="session")
+def preset():
+    """Benchmark preset: CI scale by default, overridable via env."""
+    name = os.environ.get("REPRO_BENCH_PRESET", "ci")
+    return get_preset(name)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time a heavy callable with a single warm round."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,68 @@
+"""Driving the blockchain substrate directly.
+
+Stands up a three-node ML-PoS network on the node-level simulator —
+the repo's replacement for the paper's Qtum deployment — mines a few
+hundred blocks with a live mempool, and inspects the ledger: balances,
+proposer counts, block intervals, difficulty retargets, and how the
+realised proposer frequencies track the stake-proportional law.
+
+Run:  python examples/chainsim_demo.py
+"""
+
+from repro.chainsim import (
+    Blockchain,
+    DifficultyAdjuster,
+    HASH_SPACE,
+    HashOracle,
+    MLPoSNode,
+    Mempool,
+    TickMiningNetwork,
+    Transaction,
+)
+
+
+def main() -> None:
+    oracle = HashOracle(seed=42)
+    chain = Blockchain({"alice": 0.5, "bob": 0.3, "carol": 0.2})
+    nodes = [MLPoSNode(name, oracle) for name in ("alice", "bob", "carol")]
+    adjuster = DifficultyAdjuster(
+        initial_difficulty=HASH_SPACE / 20.0, target_interval=20.0, window=25
+    )
+    mempool = Mempool()
+    network = TickMiningNetwork(
+        chain, nodes, adjuster, block_reward=0.005, mempool=mempool,
+        max_txs_per_block=4,
+    )
+
+    # Seed some payments: alice pays carol in instalments, tipping the
+    # proposers with fees.
+    for i in range(12):
+        mempool.add(
+            Transaction("alice", "carol", amount=0.01, fee=0.0005, nonce=i)
+        )
+
+    network.run(blocks=400)
+
+    print("chain height          :", chain.height)
+    print("mean block interval   :", f"{chain.block_interval_mean():.1f} ticks "
+          f"(target {adjuster.target_interval})")
+    print("difficulty retargets  :", adjuster.retarget_count)
+    print("pending transactions  :", len(mempool))
+    print()
+    counts = chain.proposer_counts()
+    supply = chain.total_supply()
+    print(f"{'miner':8s} {'blocks':>6s} {'share of blocks':>16s} "
+          f"{'final balance':>14s} {'stake share':>12s}")
+    for name in ("alice", "bob", "carol"):
+        blocks = counts.get(name, 0)
+        print(
+            f"{name:8s} {blocks:6d} {blocks / chain.height:16.3f} "
+            f"{chain.balance(name):14.4f} {chain.balance(name) / supply:12.3f}"
+        )
+    print()
+    print("ML-PoS is expectationally fair: block shares should track the")
+    print("initial 0.5 / 0.3 / 0.2 stake split (up to compounding noise).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Multi-miner games and decentralisation health (Sections 6.1, 6.5).
+
+Extends the two-miner analysis the way the paper's Table 1 does: one
+focal miner with 20% against a field of equal competitors, across all
+four protocols *and* the Section 6.4 extensions.  Alongside fairness,
+it tracks the decentralisation metrics that motivate the whole study —
+Gini, Herfindahl and Nakamoto coefficients of the terminal stake
+distribution (a Nakamoto coefficient of 1 means someone can 51%-attack
+the chain).
+
+Run:  python examples/multi_miner.py
+"""
+
+import numpy as np
+
+from repro import Allocation, simulate
+from repro.core.metrics import (
+    gini_coefficient,
+    herfindahl_index,
+    nakamoto_coefficient,
+)
+from repro.protocols import (
+    AlgorandPoS,
+    CompoundPoS,
+    EOSDelegatedPoS,
+    FilecoinStorage,
+    MultiLotteryPoS,
+    NeoPoS,
+    ProofOfWork,
+    SingleLotteryPoS,
+)
+
+
+def protocol_zoo():
+    return [
+        ProofOfWork(reward=0.01),
+        MultiLotteryPoS(reward=0.01),
+        SingleLotteryPoS(reward=0.01),
+        CompoundPoS(proposer_reward=0.01, inflation_reward=0.1, shards=32),
+        NeoPoS(reward=0.01),
+        AlgorandPoS(inflation_reward=0.01),
+        EOSDelegatedPoS(proposer_reward=0.01, inflation_reward=0.1),
+        FilecoinStorage(reward=0.01, storage_weight=0.5),
+    ]
+
+
+def main() -> None:
+    miners = 4
+    allocation = Allocation.focal_vs_equal(0.2, miners)
+    print(f"{miners}-miner game: A holds 20%, others split 80% equally")
+    print("(A is strictly below the others, so flat-reward protocols like "
+          "EOS over-pay A)")
+    print(f"{'protocol':10s} {'E[lambda_A]':>12s} {'unfair prob':>12s} "
+          f"{'gini':>7s} {'hhi':>7s} {'nakamoto':>9s}")
+    for protocol in protocol_zoo():
+        result = simulate(
+            protocol, allocation, horizon=5000, trials=1000, seed=99
+        )
+        mean = result.final_fractions().mean()
+        unfair = result.robust_verdict().unfair_probability
+        terminal = result.terminal_stake_shares()
+        gini = np.mean([gini_coefficient(row) for row in terminal])
+        hhi = np.mean([herfindahl_index(row) for row in terminal])
+        nakamoto = np.mean([nakamoto_coefficient(row) for row in terminal])
+        print(
+            f"{protocol.name:10s} {mean:12.4f} {unfair:12.4f} "
+            f"{gini:7.3f} {hhi:7.3f} {nakamoto:9.2f}"
+        )
+    print()
+    print("Reading: SL-PoS drifts towards concentration (rising Gini/HHI,")
+    print("Nakamoto -> 1); proportional protocols keep the initial spread.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,164 @@
+"""Argument validation helpers shared across the package.
+
+The public API of :mod:`repro` is numeric-heavy: probabilities, stake
+fractions, block counts, reward sizes.  Validating these consistently in
+one place keeps the error messages uniform and the call sites short.
+
+All helpers raise :class:`ValueError` (or :class:`TypeError` for wrong
+types) with a message that names the offending parameter, and return the
+validated (possibly normalised) value so they can be used inline::
+
+    self.reward = ensure_positive_float("reward", reward)
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ensure_probability",
+    "ensure_fraction",
+    "ensure_positive_float",
+    "ensure_non_negative_float",
+    "ensure_positive_int",
+    "ensure_non_negative_int",
+    "ensure_allocation",
+    "ensure_epsilon_delta",
+]
+
+
+def _ensure_real(name: str, value: object) -> float:
+    """Return ``value`` as a finite ``float`` or raise."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    result = float(value)
+    if math.isnan(result) or math.isinf(result):
+        raise ValueError(f"{name} must be finite, got {result!r}")
+    return result
+
+
+def ensure_probability(name: str, value: object) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    result = _ensure_real(name, value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result!r}")
+    return result
+
+
+def ensure_fraction(name: str, value: object) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1).
+
+    Used for resource shares where a degenerate miner (0% or 100%)
+    makes the fairness question vacuous.
+    """
+    result = _ensure_real(name, value)
+    if not 0.0 < result < 1.0:
+        raise ValueError(f"{name} must be in the open interval (0, 1), got {result!r}")
+    return result
+
+
+def ensure_positive_float(name: str, value: object) -> float:
+    """Validate that ``value`` is a finite float strictly greater than 0."""
+    result = _ensure_real(name, value)
+    if result <= 0.0:
+        raise ValueError(f"{name} must be positive, got {result!r}")
+    return result
+
+
+def ensure_non_negative_float(name: str, value: object) -> float:
+    """Validate that ``value`` is a finite float greater than or equal to 0."""
+    result = _ensure_real(name, value)
+    if result < 0.0:
+        raise ValueError(f"{name} must be non-negative, got {result!r}")
+    return result
+
+
+def ensure_positive_int(name: str, value: object) -> int:
+    """Validate that ``value`` is an integer strictly greater than 0."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    result = int(value)
+    if result <= 0:
+        raise ValueError(f"{name} must be positive, got {result}")
+    return result
+
+
+def ensure_non_negative_int(name: str, value: object) -> int:
+    """Validate that ``value`` is an integer greater than or equal to 0."""
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    result = int(value)
+    if result < 0:
+        raise ValueError(f"{name} must be non-negative, got {result}")
+    return result
+
+
+def ensure_allocation(
+    name: str,
+    shares: Iterable[object],
+    *,
+    normalise: bool = False,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Validate a vector of resource shares.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in error messages.
+    shares:
+        A sequence of at least two positive shares.
+    normalise:
+        When true, rescale the shares so that they sum to one (the
+        paper normalises ``a + b = 1``, Assumption 2).  When false, the
+        shares must already sum to one within ``atol``.
+    atol:
+        Absolute tolerance used when checking the sum.
+
+    Returns
+    -------
+    numpy.ndarray
+        A float array of shares summing to one.
+    """
+    array = np.asarray(list(shares), dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size < 2:
+        raise ValueError(f"{name} must contain at least two miners, got {array.size}")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    if np.any(array <= 0.0):
+        raise ValueError(f"{name} must contain strictly positive shares")
+    total = float(array.sum())
+    if normalise:
+        return array / total
+    if abs(total - 1.0) > atol:
+        raise ValueError(
+            f"{name} must sum to 1 (got {total!r}); pass normalise=True to rescale"
+        )
+    return array
+
+
+def ensure_epsilon_delta(epsilon: object, delta: object) -> tuple:
+    """Validate the ``(epsilon, delta)`` pair from Definition 4.1.
+
+    ``epsilon`` must be non-negative and ``delta`` must be a
+    probability.  Returns the validated pair.
+    """
+    eps = ensure_non_negative_float("epsilon", epsilon)
+    dlt = ensure_probability("delta", delta)
+    return eps, dlt
+
+
+def as_sequence_of_floats(name: str, values: Sequence[object]) -> np.ndarray:
+    """Convert a sequence to a finite float array, validating it."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    return array

@@ -1,0 +1,22 @@
+"""Secondary analyses: equitability, attack risk, protocol comparison.
+
+These build on the core fairness machinery to answer the adjacent
+questions the paper raises — how its notions relate to Fanti et al.'s
+equitability (Section 7), and how unfair incentives translate into
+51%-attack exposure (Section 6.5).
+"""
+
+from .attack_risk import majority_risk, majority_risk_series, stake_share_series
+from .comparison import ComparisonRow, ProtocolComparison, compare_protocols
+from .equitability import equitability, equitability_series
+
+__all__ = [
+    "majority_risk",
+    "majority_risk_series",
+    "stake_share_series",
+    "ComparisonRow",
+    "ProtocolComparison",
+    "compare_protocols",
+    "equitability",
+    "equitability_series",
+]

@@ -1,0 +1,76 @@
+"""Majority (51%-attack) risk derived from mining outcomes.
+
+Section 6.5 motivates fairness through security: when incentives
+concentrate stakes, one miner eventually crosses 50% and can roll back
+transactions (the 2020 Ethereum Classic incident the paper cites).
+This module quantifies that risk from simulation output.
+
+For protocols whose rewards compound into the competing resource
+(ML-PoS, SL-PoS, FSL-PoS, C-PoS), the stake vector at a checkpoint is
+reconstructible from the recorded reward fractions:
+
+``stake_i(n) = a_i + R n lambda_i(n)``
+
+with ``R`` the per-round issuance.  :func:`stake_share_series` performs
+that reconstruction and :func:`majority_risk_series` reports the
+fraction of trials in which some miner holds more than half of all
+stakes at each checkpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import ensure_positive_float
+from ..core.results import EnsembleResult
+
+__all__ = ["stake_share_series", "majority_risk_series", "majority_risk"]
+
+
+def stake_share_series(result: EnsembleResult, reward_per_round: float) -> np.ndarray:
+    """Reconstruct stake shares at every checkpoint.
+
+    Parameters
+    ----------
+    result:
+        Simulation output of a protocol whose rewards compound into
+        stake (ML-PoS, SL-PoS, FSL-PoS, C-PoS).  For PoW/NEO the
+        "stakes" never move, so this reconstruction does not apply —
+        their majority risk is static.
+    reward_per_round:
+        The protocol's total issuance per block/epoch ``R``.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(trials, checkpoints, miners)`` with rows
+    summing to one across miners.
+    """
+    reward_per_round = ensure_positive_float("reward_per_round", reward_per_round)
+    initial = result.allocation.shares[None, None, :]
+    rounds = result.checkpoints[None, :, None].astype(float)
+    stakes = initial + reward_per_round * rounds * result.reward_fractions
+    return stakes / stakes.sum(axis=2, keepdims=True)
+
+
+def majority_risk_series(
+    result: EnsembleResult, reward_per_round: float, *, threshold: float = 0.5
+) -> np.ndarray:
+    """Probability that some miner exceeds ``threshold`` of total stake.
+
+    Returns one probability per checkpoint.  A value of 1 means every
+    trial has a majority stakeholder — the 51%-attack precondition.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    shares = stake_share_series(result, reward_per_round)
+    dominant = shares.max(axis=2)
+    return (dominant > threshold).mean(axis=0)
+
+
+def majority_risk(
+    result: EnsembleResult, reward_per_round: float, *, threshold: float = 0.5
+) -> float:
+    """Majority risk at the final checkpoint."""
+    return float(
+        majority_risk_series(result, reward_per_round, threshold=threshold)[-1]
+    )

@@ -1,0 +1,53 @@
+"""Node-level blockchain substrate.
+
+Stands in for the paper's real-system testbeds (Geth v1.9.11, Qtum
+v0.19.0.1, NXT v1.12.2 on AWS EC2) with a deterministic discrete-event
+simulator that runs the Section 2 mining loops literally: PoW nonce
+grinding, the ML-PoS per-timestamp kernel, the SL-PoS deadline lottery
+(plus its FSL-PoS fix), and C-PoS epoch committees — over a real
+ledger with balances, transactions and difficulty retargeting.
+
+Entry point: :class:`SystemExperiment` runs repeated deployments and
+returns the same :class:`~repro.core.EnsembleResult` as the Monte
+Carlo engine.
+"""
+
+from .block import GENESIS_PARENT, Block
+from .chain import Blockchain, InvalidBlockError
+from .c_pos_node import CPoSCommittee, CPoSValidator
+from .difficulty import DifficultyAdjuster
+from .harness import SYSTEM_PROTOCOLS, SystemExperiment
+from .hash_oracle import HASH_SPACE, HashOracle
+from .mempool import Mempool
+from .ml_pos_node import MLPoSNode
+from .network import CPoSNetwork, DeadlineMiningNetwork, TickMiningNetwork
+from .node import MiningNode
+from .pow_node import PoWNode
+from .sl_pos_node import FSLPoSNode, SLPoSNode
+from .transactions import Transaction
+from .vesting import VestingBlockchain
+
+__all__ = [
+    "GENESIS_PARENT",
+    "Block",
+    "Blockchain",
+    "InvalidBlockError",
+    "CPoSCommittee",
+    "CPoSValidator",
+    "DifficultyAdjuster",
+    "SYSTEM_PROTOCOLS",
+    "SystemExperiment",
+    "HASH_SPACE",
+    "HashOracle",
+    "Mempool",
+    "MLPoSNode",
+    "CPoSNetwork",
+    "DeadlineMiningNetwork",
+    "TickMiningNetwork",
+    "MiningNode",
+    "PoWNode",
+    "FSLPoSNode",
+    "SLPoSNode",
+    "Transaction",
+    "VestingBlockchain",
+]

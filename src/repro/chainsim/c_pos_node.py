@@ -1,0 +1,103 @@
+"""C-PoS committee machinery (Section 2.4).
+
+Ethereum 2.0 epochs: stakeholder identities are partitioned into ``P``
+shards; each shard elects one proposer per epoch uniformly over the
+stake deposited in it, and every staker earns a proportional attester
+(inflation) reward.  The substrate models the *generalised* C-PoS the
+paper analyses: per shard, one proposer is drawn proportionally to
+total stake, so the per-epoch proposer counts are
+``Multinomial(P, shares)`` exactly as in Theorem 3.5's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .._validation import ensure_positive_int
+from .chain import Blockchain
+from .hash_oracle import HashOracle
+from .node import MiningNode
+
+__all__ = ["CPoSValidator", "CPoSCommittee"]
+
+
+class CPoSValidator(MiningNode):
+    """A C-PoS staker (attester + potential proposer).
+
+    C-PoS nodes neither tick-mine nor race deadlines; the committee
+    selects proposers centrally, mirroring the beacon-chain protocol.
+    """
+
+
+class CPoSCommittee:
+    """Per-epoch proposer election and reward assignment.
+
+    Parameters
+    ----------
+    validators:
+        Participating stakers.
+    oracle:
+        Shared hash oracle; the epoch randomness stands in for
+        Ethereum's RANDAO beacon.
+    shards:
+        Number of shards ``P`` per epoch.
+    """
+
+    def __init__(
+        self,
+        validators: Sequence[CPoSValidator],
+        oracle: HashOracle,
+        shards: int = 32,
+    ) -> None:
+        if not validators:
+            raise ValueError("need at least one validator")
+        addresses = [v.address for v in validators]
+        if len(set(addresses)) != len(addresses):
+            raise ValueError("validator addresses must be unique")
+        self.validators = list(validators)
+        self.oracle = oracle
+        self.shards = ensure_positive_int("shards", shards)
+
+    def stake_shares(self, chain: Blockchain) -> Dict[str, float]:
+        """Current stake share per validator address."""
+        stakes = {v.address: v.stake(chain) for v in self.validators}
+        total = sum(stakes.values())
+        if total <= 0.0:
+            raise ValueError("total validator stake must be positive")
+        return {address: stake / total for address, stake in stakes.items()}
+
+    def elect_proposers(self, chain: Blockchain, epoch: int) -> List[str]:
+        """Elect one proposer per shard for ``epoch``.
+
+        Each shard's RANDAO value is hashed into a uniform fraction and
+        inverted through the stake-share CDF — proportional sampling,
+        independent across shards.
+        """
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        shares = self.stake_shares(chain)
+        addresses = [v.address for v in self.validators]
+        proposers: List[str] = []
+        for shard in range(self.shards):
+            u = self.oracle.fraction("randao", epoch, shard, chain.tip.block_hash)
+            cumulative = 0.0
+            chosen = addresses[-1]
+            for address in addresses:
+                cumulative += shares[address]
+                if u < cumulative:
+                    chosen = address
+                    break
+            proposers.append(chosen)
+        return proposers
+
+    def attester_rewards(
+        self, chain: Blockchain, inflation_reward: float, vote_participation: float = 1.0
+    ) -> Dict[str, float]:
+        """Proportional inflation income of one epoch per validator."""
+        if inflation_reward < 0.0:
+            raise ValueError("inflation_reward must be non-negative")
+        if not 0.0 < vote_participation <= 1.0:
+            raise ValueError("vote_participation must be in (0, 1]")
+        shares = self.stake_shares(chain)
+        paid = inflation_reward * vote_participation
+        return {address: paid * share for address, share in shares.items()}

@@ -1,0 +1,186 @@
+"""The ledger: an append-only chain with account balances.
+
+Maintains the canonical chain (the substrate resolves block races at
+proposal time, so no reorgs occur after acceptance), validates and
+applies transactions, credits block rewards, and exposes the per-miner
+income series the fairness harness consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .block import GENESIS_PARENT, Block
+from .transactions import Transaction
+
+__all__ = ["Blockchain", "InvalidBlockError"]
+
+
+class InvalidBlockError(ValueError):
+    """Raised when a block fails validation against the current chain."""
+
+
+class Blockchain:
+    """An account-model blockchain.
+
+    Parameters
+    ----------
+    initial_balances:
+        Genesis allocation of the currency (stake) per address.
+
+    Notes
+    -----
+    * Balances double as stakes: PoS nodes read their staking power
+      straight from the ledger, so block rewards compound exactly as
+      the paper's PoS models prescribe.
+    * Per-sender nonces must be sequential; a block containing an
+      invalid transaction is rejected wholesale (the substrate's
+      stand-in for full validation).
+    """
+
+    def __init__(self, initial_balances: Mapping[str, float]) -> None:
+        if not initial_balances:
+            raise ValueError("initial_balances must not be empty")
+        for address, balance in initial_balances.items():
+            if not address:
+                raise ValueError("addresses must be non-empty")
+            if balance < 0.0:
+                raise ValueError(f"balance of {address!r} must be non-negative")
+        self._balances: Dict[str, float] = dict(initial_balances)
+        self._nonces: Dict[str, int] = {address: 0 for address in initial_balances}
+        genesis = Block(
+            height=0,
+            parent_hash=GENESIS_PARENT,
+            block_hash=GENESIS_PARENT,
+            proposer="",
+            timestamp=0.0,
+            reward=0.0,
+        )
+        self._blocks: List[Block] = [genesis]
+
+    # -- chain accessors ---------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Height of the chain tip (number of non-genesis blocks)."""
+        return self._blocks[-1].height
+
+    @property
+    def tip(self) -> Block:
+        """The latest accepted block."""
+        return self._blocks[-1]
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        """All blocks including genesis (read-only view)."""
+        return tuple(self._blocks)
+
+    def balance(self, address: str) -> float:
+        """Current balance (== staking power) of an address."""
+        return self._balances.get(address, 0.0)
+
+    def total_supply(self) -> float:
+        """Total currency in circulation."""
+        return sum(self._balances.values())
+
+    def next_nonce(self, address: str) -> int:
+        """The nonce the address's next transaction must carry."""
+        return self._nonces.get(address, 0)
+
+    # -- validation and application -------------------------------------------
+
+    def _validate(self, block: Block) -> None:
+        if block.height != self.height + 1:
+            raise InvalidBlockError(
+                f"block height {block.height} does not extend tip {self.height}"
+            )
+        if block.parent_hash != self.tip.block_hash:
+            raise InvalidBlockError("block parent hash does not match the tip")
+        if block.timestamp < self.tip.timestamp:
+            raise InvalidBlockError("block timestamp precedes its parent")
+        # Transactions must be applicable in order against a scratch view.
+        scratch_balances = dict(self._balances)
+        scratch_nonces = dict(self._nonces)
+        for tx in block.transactions:
+            if scratch_nonces.get(tx.sender, 0) != tx.nonce:
+                raise InvalidBlockError(
+                    f"bad nonce for {tx.sender!r}: expected "
+                    f"{scratch_nonces.get(tx.sender, 0)}, got {tx.nonce}"
+                )
+            if scratch_balances.get(tx.sender, 0.0) < tx.total_debit:
+                raise InvalidBlockError(
+                    f"insufficient balance for {tx.sender!r}"
+                )
+            scratch_balances[tx.sender] = (
+                scratch_balances.get(tx.sender, 0.0) - tx.total_debit
+            )
+            scratch_balances[tx.recipient] = (
+                scratch_balances.get(tx.recipient, 0.0) + tx.amount
+            )
+            scratch_nonces[tx.sender] = tx.nonce + 1
+
+    def append(self, block: Block) -> None:
+        """Validate and apply a block, crediting reward and fees."""
+        self._validate(block)
+        for tx in block.transactions:
+            self._balances[tx.sender] -= tx.total_debit
+            self._balances[tx.recipient] = (
+                self._balances.get(tx.recipient, 0.0) + tx.amount
+            )
+            self._nonces[tx.sender] = tx.nonce + 1
+        credit = block.reward + block.total_fees
+        if credit > 0.0:
+            self._balances[block.proposer] = (
+                self._balances.get(block.proposer, 0.0) + credit
+            )
+        self._blocks.append(block)
+
+    def credit(self, address: str, amount: float) -> None:
+        """Mint ``amount`` to an address outside block rewards.
+
+        Used for protocol-level inflation (C-PoS attester rewards) that
+        is not tied to block proposals.
+        """
+        if amount < 0.0:
+            raise ValueError("amount must be non-negative")
+        self._balances[address] = self._balances.get(address, 0.0) + amount
+
+    # -- analysis helpers -----------------------------------------------------
+
+    def proposer_counts(self) -> Dict[str, int]:
+        """Number of blocks proposed per address (genesis excluded)."""
+        counts: Dict[str, int] = {}
+        for block in self._blocks[1:]:
+            counts[block.proposer] = counts.get(block.proposer, 0) + 1
+        return counts
+
+    def reward_series(self, addresses: Iterable[str]) -> Dict[str, List[float]]:
+        """Cumulative block-reward income per address after each block.
+
+        Returns, for each requested address, a list of length
+        ``height`` with the cumulative reward+fee income after blocks
+        1, 2, ..., height.  Protocol-level inflation credited through
+        :meth:`credit` is not included (the harness tracks it
+        separately).
+        """
+        addresses = list(addresses)
+        totals = {address: 0.0 for address in addresses}
+        series: Dict[str, List[float]] = {address: [] for address in addresses}
+        for block in self._blocks[1:]:
+            income = block.reward + block.total_fees
+            if block.proposer in totals:
+                totals[block.proposer] += income
+            for address in addresses:
+                series[address].append(totals[address])
+        return series
+
+    def block_interval_mean(self, window: Optional[int] = None) -> float:
+        """Mean timestamp gap between consecutive recent blocks."""
+        blocks = self._blocks if window is None else self._blocks[-(window + 1):]
+        if len(blocks) < 2:
+            raise ValueError("need at least two blocks to measure intervals")
+        gaps = [
+            later.timestamp - earlier.timestamp
+            for earlier, later in zip(blocks[:-1], blocks[1:])
+        ]
+        return sum(gaps) / len(gaps)

@@ -1,0 +1,98 @@
+"""A deterministic 256-bit hash oracle.
+
+The protocols of Section 2 only need one property from ``Hash(...)``:
+its output is uniform on ``[0, 2^256 - 1]`` and independent across
+distinct inputs.  A keyed SHA-256 provides exactly that (as a PRF),
+while remaining deterministic given the key — so a chainsim run is
+fully reproducible from its seed, unlike a wall-clock mining race.
+
+This substitutes the real mining hashes (Ethash in Geth, SHA-256d in
+Qtum, Curve25519-based in NXT); the substitution is behaviour
+preserving because the paper's analysis uses only the uniformity of
+the hash output (see DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+__all__ = ["HASH_SPACE", "HashOracle"]
+
+#: The size of the hash output space, ``2^256``.
+HASH_SPACE = 1 << 256
+
+_FieldType = Union[int, str, bytes, float]
+
+
+class HashOracle:
+    """Keyed deterministic uniform hash on ``[0, 2^256 - 1]``.
+
+    Parameters
+    ----------
+    seed:
+        Key mixed into every digest; two oracles with different seeds
+        produce independent hash landscapes (different "genesis
+        universes" for repeated experiments).
+
+    Examples
+    --------
+    >>> oracle = HashOracle(7)
+    >>> 0 <= oracle.digest("pk-A", 123) < HASH_SPACE
+    True
+    >>> oracle.digest("pk-A", 123) == oracle.digest("pk-A", 123)
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._key = seed.to_bytes(32, "big", signed=False) if seed >= 0 else (
+            (-seed).to_bytes(32, "big") + b"-"
+        )
+
+    @staticmethod
+    def _encode(field: _FieldType) -> bytes:
+        if isinstance(field, bytes):
+            return b"b" + field
+        if isinstance(field, str):
+            return b"s" + field.encode("utf-8")
+        if isinstance(field, bool):  # pragma: no cover - defensive
+            raise TypeError("bool fields are ambiguous; use int")
+        if isinstance(field, int):
+            return b"i" + field.to_bytes((field.bit_length() + 8) // 8 + 1, "big",
+                                         signed=True)
+        if isinstance(field, float):
+            return b"f" + repr(field).encode("ascii")
+        raise TypeError(f"unsupported hash field type: {type(field).__name__}")
+
+    def digest(self, *fields: _FieldType) -> int:
+        """Uniform 256-bit integer hash of the given fields.
+
+        Fields are length-prefixed before concatenation so that
+        distinct field tuples can never collide by boundary ambiguity.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(self._key)
+        for field in fields:
+            encoded = self._encode(field)
+            hasher.update(len(encoded).to_bytes(4, "big"))
+            hasher.update(encoded)
+        return int.from_bytes(hasher.digest(), "big")
+
+    def fraction(self, *fields: _FieldType) -> float:
+        """The digest mapped to a float in ``[0, 1)``.
+
+        Uses the top 53 bits so the mapping is exact in double
+        precision.
+        """
+        return (self.digest(*fields) >> (256 - 53)) / float(1 << 53)
+
+    def below(self, target: int, *fields: _FieldType) -> bool:
+        """Whether ``digest(fields) < target`` — the PoW/PoS validity test."""
+        if target < 0:
+            raise ValueError("target must be non-negative")
+        return self.digest(*fields) < target
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HashOracle(key={self._key[:4].hex()}...)"

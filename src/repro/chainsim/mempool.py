@@ -1,0 +1,85 @@
+"""A fee-prioritised transaction pool."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from .transactions import Transaction
+
+__all__ = ["Mempool"]
+
+
+class Mempool:
+    """Pending transactions ordered by fee (highest first), FIFO on ties.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of pending transactions; adding beyond capacity
+        evicts the lowest-fee transaction (rejecting the newcomer if it
+        is itself the lowest).
+
+    Notes
+    -----
+    Duplicate ``(sender, nonce)`` pairs are rejected — the substrate's
+    stand-in for replay protection.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = int(capacity)
+        self._heap: List[Tuple[float, int, Transaction]] = []
+        self._counter = itertools.count()
+        self._index: Dict[tuple, Transaction] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, transaction: Transaction) -> bool:
+        return transaction.key() in self._index
+
+    def add(self, transaction: Transaction) -> bool:
+        """Add a transaction; returns False if rejected (duplicate/evicted)."""
+        if transaction.key() in self._index:
+            return False
+        if len(self._index) >= self.capacity:
+            lowest = self._peek_lowest()
+            if lowest is not None and transaction.fee <= lowest.fee:
+                return False
+            self._evict_lowest()
+        # Negative fee so the heap pops highest-fee first.
+        heapq.heappush(
+            self._heap, (-transaction.fee, next(self._counter), transaction)
+        )
+        self._index[transaction.key()] = transaction
+        return True
+
+    def _peek_lowest(self) -> Optional[Transaction]:
+        live = [entry for entry in self._heap if entry[2].key() in self._index]
+        if not live:
+            return None
+        return max(live, key=lambda entry: (entry[0], entry[1]))[2]
+
+    def _evict_lowest(self) -> None:
+        lowest = self._peek_lowest()
+        if lowest is not None:
+            del self._index[lowest.key()]
+
+    def take(self, count: int) -> List[Transaction]:
+        """Pop up to ``count`` highest-fee transactions."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        taken: List[Transaction] = []
+        while self._heap and len(taken) < count:
+            _, _, transaction = heapq.heappop(self._heap)
+            if self._index.pop(transaction.key(), None) is not None:
+                taken.append(transaction)
+        return taken
+
+    def clear(self) -> None:
+        """Drop every pending transaction."""
+        self._heap.clear()
+        self._index.clear()

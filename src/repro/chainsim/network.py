@@ -1,0 +1,308 @@
+"""Network engines: the simulated clock and block-race resolution.
+
+Three engines matching the three interaction styles of the protocols:
+
+* :class:`TickMiningNetwork` — PoW and ML-PoS: advance a discrete
+  clock, every node attempts its lottery each tick, simultaneous
+  winners are resolved by lowest digest (the substrate's stand-in for
+  the propagation race), difficulty retargets on a window.
+* :class:`DeadlineMiningNetwork` — SL-PoS and FSL-PoS: event-driven;
+  each block deterministically schedules every node's next proposal
+  deadline and the earliest wins.
+* :class:`CPoSNetwork` — C-PoS: epoch-driven committee election with
+  per-shard proposer blocks and proportional attester inflation.
+
+Every engine exposes ``income_series(addresses)`` — cumulative income
+per address after each round — which is what the fairness harness
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .._validation import ensure_positive_float, ensure_positive_int
+from .block import Block
+from .chain import Blockchain
+from .c_pos_node import CPoSCommittee, CPoSValidator
+from .difficulty import DifficultyAdjuster
+from .hash_oracle import HashOracle
+from .mempool import Mempool
+from .node import MiningNode
+
+__all__ = ["TickMiningNetwork", "DeadlineMiningNetwork", "CPoSNetwork"]
+
+
+class _IncomeTracker:
+    """Cumulative per-round income bookkeeping shared by the engines."""
+
+    def __init__(self, addresses: Sequence[str]) -> None:
+        self._addresses = list(addresses)
+        self._totals: Dict[str, float] = {a: 0.0 for a in self._addresses}
+        self._history: Dict[str, List[float]] = {a: [] for a in self._addresses}
+        self.total_issued_history: List[float] = []
+        self._total_issued = 0.0
+
+    def record_round(self, incomes: Dict[str, float]) -> None:
+        for address, amount in incomes.items():
+            if address in self._totals:
+                self._totals[address] += amount
+            self._total_issued += amount
+        for address in self._addresses:
+            self._history[address].append(self._totals[address])
+        self.total_issued_history.append(self._total_issued)
+
+    def income_series(self, addresses: Sequence[str]) -> Dict[str, List[float]]:
+        return {a: list(self._history[a]) for a in addresses}
+
+
+class TickMiningNetwork:
+    """Discrete-clock mining for PoW / ML-PoS nodes.
+
+    Parameters
+    ----------
+    chain:
+        The shared ledger.
+    nodes:
+        Tick-mining nodes (must implement ``try_propose``).
+    adjuster:
+        Difficulty controller.
+    block_reward:
+        Subsidy per block.
+    mempool / max_txs_per_block:
+        Optional transaction inclusion.
+    max_ticks_per_block:
+        Safety valve: raise instead of looping forever when the
+        difficulty is impossibly low.
+    """
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        nodes: Sequence[MiningNode],
+        adjuster: DifficultyAdjuster,
+        block_reward: float,
+        *,
+        mempool: Optional[Mempool] = None,
+        max_txs_per_block: int = 100,
+        max_ticks_per_block: int = 1_000_000,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.chain = chain
+        self.nodes = list(nodes)
+        self.adjuster = adjuster
+        self.block_reward = ensure_positive_float("block_reward", block_reward)
+        self.mempool = mempool
+        self.max_txs_per_block = ensure_positive_int(
+            "max_txs_per_block", max_txs_per_block
+        )
+        self.max_ticks_per_block = ensure_positive_int(
+            "max_ticks_per_block", max_ticks_per_block
+        )
+        self.tick = 0
+        self._tracker = _IncomeTracker([n.address for n in self.nodes])
+
+    def mine_block(self) -> Block:
+        """Advance ticks until some node wins the lottery; append the block."""
+        ticks_waited = 0
+        while True:
+            self.tick += 1
+            ticks_waited += 1
+            if ticks_waited > self.max_ticks_per_block:
+                raise RuntimeError(
+                    "no block found within max_ticks_per_block; "
+                    "difficulty is too low"
+                )
+            candidates: List[Tuple[int, MiningNode]] = []
+            for node in self.nodes:
+                digest = node.try_propose(self.chain, self.tick, self.adjuster.difficulty)
+                if digest is not None:
+                    candidates.append((digest, node))
+            if not candidates:
+                continue
+            digest, winner = min(candidates, key=lambda item: item[0])
+            transactions = (
+                tuple(self.mempool.take(self.max_txs_per_block))
+                if self.mempool is not None
+                else ()
+            )
+            block = Block(
+                height=self.chain.height + 1,
+                parent_hash=self.chain.tip.block_hash,
+                block_hash=digest,
+                proposer=winner.address,
+                timestamp=float(self.tick),
+                reward=self.block_reward,
+                transactions=transactions,
+            )
+            self.chain.append(block)
+            self.adjuster.observe_block(block.timestamp)
+            self._tracker.record_round(
+                {winner.address: self.block_reward + block.total_fees}
+            )
+            return block
+
+    def run(self, blocks: int) -> None:
+        """Mine ``blocks`` consecutive blocks."""
+        blocks = ensure_positive_int("blocks", blocks)
+        for _ in range(blocks):
+            self.mine_block()
+
+    def income_series(self, addresses: Sequence[str]) -> Dict[str, List[float]]:
+        """Cumulative income per address after each block."""
+        return self._tracker.income_series(addresses)
+
+    def total_issued_series(self) -> List[float]:
+        """Total rewards issued network-wide after each block."""
+        return list(self._tracker.total_issued_history)
+
+
+class DeadlineMiningNetwork:
+    """Event-driven deadline mining for SL-PoS / FSL-PoS nodes."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        nodes: Sequence[MiningNode],
+        block_reward: float,
+        *,
+        basetime: float = 60.0,
+        mempool: Optional[Mempool] = None,
+        max_txs_per_block: int = 100,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.chain = chain
+        self.nodes = list(nodes)
+        self.block_reward = ensure_positive_float("block_reward", block_reward)
+        self.basetime = ensure_positive_float("basetime", basetime)
+        self.mempool = mempool
+        self.max_txs_per_block = ensure_positive_int(
+            "max_txs_per_block", max_txs_per_block
+        )
+        self._tracker = _IncomeTracker([n.address for n in self.nodes])
+
+    def mine_block(self) -> Block:
+        """Resolve the deadline race for the next block and append it."""
+        deadlines: List[Tuple[float, str, MiningNode]] = []
+        for node in self.nodes:
+            deadline = node.proposal_deadline(self.chain, self.basetime)
+            deadlines.append((deadline, node.address, node))
+        deadline, _, winner = min(deadlines)
+        if deadline == float("inf"):
+            raise RuntimeError("no node can propose (all stakes are zero)")
+        transactions = (
+            tuple(self.mempool.take(self.max_txs_per_block))
+            if self.mempool is not None
+            else ()
+        )
+        block = Block(
+            height=self.chain.height + 1,
+            parent_hash=self.chain.tip.block_hash,
+            block_hash=self.chain.tip.block_hash + 1 + winner.oracle.digest(
+                "block", winner.address, self.chain.tip.block_hash
+            ) % (1 << 64),
+            proposer=winner.address,
+            timestamp=deadline,
+            reward=self.block_reward,
+            transactions=transactions,
+        )
+        self.chain.append(block)
+        self._tracker.record_round(
+            {winner.address: self.block_reward + block.total_fees}
+        )
+        return block
+
+    def run(self, blocks: int) -> None:
+        """Mine ``blocks`` consecutive blocks."""
+        blocks = ensure_positive_int("blocks", blocks)
+        for _ in range(blocks):
+            self.mine_block()
+
+    def income_series(self, addresses: Sequence[str]) -> Dict[str, List[float]]:
+        """Cumulative income per address after each block."""
+        return self._tracker.income_series(addresses)
+
+    def total_issued_series(self) -> List[float]:
+        """Total rewards issued network-wide after each block."""
+        return list(self._tracker.total_issued_history)
+
+
+class CPoSNetwork:
+    """Epoch-driven compound PoS with committees and inflation."""
+
+    def __init__(
+        self,
+        chain: Blockchain,
+        validators: Sequence[CPoSValidator],
+        oracle: HashOracle,
+        *,
+        proposer_reward: float,
+        inflation_reward: float,
+        shards: int = 32,
+        vote_participation: float = 1.0,
+        epoch_duration: float = 384.0,
+    ) -> None:
+        self.chain = chain
+        self.committee = CPoSCommittee(validators, oracle, shards)
+        self.proposer_reward = ensure_positive_float(
+            "proposer_reward", proposer_reward
+        )
+        if inflation_reward < 0.0:
+            raise ValueError("inflation_reward must be non-negative")
+        self.inflation_reward = float(inflation_reward)
+        if not 0.0 < vote_participation <= 1.0:
+            raise ValueError("vote_participation must be in (0, 1]")
+        self.vote_participation = float(vote_participation)
+        self.epoch_duration = ensure_positive_float("epoch_duration", epoch_duration)
+        self.epoch = 0
+        self.oracle = oracle
+        self._tracker = _IncomeTracker([v.address for v in self.committee.validators])
+
+    def run_epoch(self) -> List[str]:
+        """Run one epoch: elect shard proposers, append blocks, pay attesters."""
+        incomes: Dict[str, float] = {
+            v.address: 0.0 for v in self.committee.validators
+        }
+        # Attester rewards are computed on the stakes at epoch start.
+        attester = self.committee.attester_rewards(
+            self.chain, self.inflation_reward, self.vote_participation
+        )
+        proposers = self.committee.elect_proposers(self.chain, self.epoch)
+        per_shard_reward = self.proposer_reward / self.committee.shards
+        base_time = self.epoch * self.epoch_duration
+        for shard, proposer in enumerate(proposers):
+            block = Block(
+                height=self.chain.height + 1,
+                parent_hash=self.chain.tip.block_hash,
+                block_hash=self.oracle.digest(
+                    "block", self.epoch, shard, self.chain.tip.block_hash
+                ),
+                proposer=proposer,
+                timestamp=base_time + (shard + 1) * self.epoch_duration
+                / self.committee.shards,
+                reward=per_shard_reward,
+            )
+            self.chain.append(block)
+            incomes[proposer] += per_shard_reward
+        for address, amount in attester.items():
+            self.chain.credit(address, amount)
+            incomes[address] += amount
+        self._tracker.record_round(incomes)
+        self.epoch += 1
+        return proposers
+
+    def run(self, epochs: int) -> None:
+        """Run ``epochs`` consecutive epochs."""
+        epochs = ensure_positive_int("epochs", epochs)
+        for _ in range(epochs):
+            self.run_epoch()
+
+    def income_series(self, addresses: Sequence[str]) -> Dict[str, List[float]]:
+        """Cumulative income per address after each epoch."""
+        return self._tracker.income_series(addresses)
+
+    def total_issued_series(self) -> List[float]:
+        """Total rewards issued network-wide after each epoch."""
+        return list(self._tracker.total_issued_history)

@@ -1,0 +1,53 @@
+"""PoW mining node: nonce grinding against ``Hash(nonce, ...) < D``.
+
+This is the literal Section 2.1 loop.  A node with hash rate ``r``
+checks ``r`` nonces per tick against the network difficulty; the
+digest includes the parent hash (so work cannot be precomputed across
+blocks) and the node's address (each miner grinds her own nonce
+space, standing in for the coinbase field of a real block template).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .._validation import ensure_positive_int
+from .chain import Blockchain
+from .hash_oracle import HASH_SPACE, HashOracle
+from .node import MiningNode
+
+__all__ = ["PoWNode"]
+
+
+class PoWNode(MiningNode):
+    """A proof-of-work miner.
+
+    Parameters
+    ----------
+    address, oracle:
+        See :class:`MiningNode`.
+    hash_rate:
+        Nonces checked per tick — the node's share of total network
+        hash rate is its resource share ``a``.
+    """
+
+    def __init__(self, address: str, oracle: HashOracle, hash_rate: int) -> None:
+        super().__init__(address, oracle)
+        self.hash_rate = ensure_positive_int("hash_rate", hash_rate)
+        self._nonce = 0
+
+    def try_propose(
+        self, chain: Blockchain, tick: int, difficulty: float
+    ) -> Optional[int]:
+        """Grind ``hash_rate`` nonces; return the best winning digest."""
+        if difficulty <= 0.0:
+            raise ValueError("difficulty must be positive")
+        target = min(int(difficulty), HASH_SPACE)
+        parent_hash = chain.tip.block_hash
+        best: Optional[int] = None
+        for _ in range(self.hash_rate):
+            digest = self.oracle.digest(self.address, parent_hash, self._nonce)
+            self._nonce += 1
+            if digest < target and (best is None or digest < best):
+                best = digest
+        return best

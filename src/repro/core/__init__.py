@@ -1,0 +1,69 @@
+"""The paper's primary contribution: fairness definitions and analysis.
+
+Submodules
+----------
+miners
+    Miner identities and normalised resource allocations.
+fairness
+    Expectational fairness (Def. 3.1) and robust
+    ``(epsilon, delta)``-fairness (Def. 4.1) checkers.
+metrics
+    Derived metrics: unfair probability, convergence time, ROI,
+    decentralisation indices.
+results
+    :class:`EnsembleResult` — structured Monte Carlo output.
+game
+    :class:`MiningGame` — the one-call facade combining simulation,
+    empirical verdicts and theoretical predictions.
+"""
+
+from .fairness import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    ExpectationalFairness,
+    ExpectationalVerdict,
+    FairArea,
+    RobustFairness,
+    RobustVerdict,
+)
+from .game import FairnessReport, MiningGame, TheoreticalPrediction, predict
+from .metrics import (
+    convergence_time,
+    gini_coefficient,
+    herfindahl_index,
+    monopolisation_probability,
+    nakamoto_coefficient,
+    return_on_investment,
+    reward_fraction,
+    unfair_probability,
+    unfair_probability_series,
+)
+from .miners import Allocation, Miner
+from .results import EnsembleResult, SeriesSummary
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DEFAULT_EPSILON",
+    "ExpectationalFairness",
+    "ExpectationalVerdict",
+    "FairArea",
+    "RobustFairness",
+    "RobustVerdict",
+    "FairnessReport",
+    "MiningGame",
+    "TheoreticalPrediction",
+    "predict",
+    "convergence_time",
+    "gini_coefficient",
+    "herfindahl_index",
+    "monopolisation_probability",
+    "nakamoto_coefficient",
+    "return_on_investment",
+    "reward_fraction",
+    "unfair_probability",
+    "unfair_probability_series",
+    "Allocation",
+    "Miner",
+    "EnsembleResult",
+    "SeriesSummary",
+]

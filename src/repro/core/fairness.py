@@ -1,0 +1,272 @@
+"""The paper's two fairness notions (Definitions 3.1 and 4.1).
+
+* :class:`ExpectationalFairness` — ``E[lambda_A] = a`` (Definition 3.1).
+  Checked against simulation output with a configurable tolerance or a
+  normal-approximation confidence band.
+* :class:`RobustFairness` — ``Pr[(1-e)a <= lambda_A <= (1+e)a] >= 1 - d``
+  (Definition 4.1), the ``(epsilon, delta)``-fairness criterion.  The
+  closed interval ``[(1-e)a, (1+e)a]`` is the paper's *fair area*; its
+  complement within [0, 1] is the *unfair area*.
+
+Both classes evaluate samples of the reward fraction ``lambda_A`` and
+return structured verdicts, so experiments can render uniform reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import (
+    ensure_epsilon_delta,
+    ensure_fraction,
+    ensure_positive_float,
+)
+
+__all__ = [
+    "FairArea",
+    "ExpectationalVerdict",
+    "RobustVerdict",
+    "ExpectationalFairness",
+    "RobustFairness",
+    "DEFAULT_EPSILON",
+    "DEFAULT_DELTA",
+]
+
+#: The paper's default robust-fairness parameters (Section 5.1).
+DEFAULT_EPSILON = 0.1
+DEFAULT_DELTA = 0.1
+
+
+@dataclass(frozen=True)
+class FairArea:
+    """The fair interval ``[(1 - epsilon) a, (1 + epsilon) a]``.
+
+    Both endpoints are clipped to [0, 1] since ``lambda`` is a
+    fraction.
+    """
+
+    share: float
+    epsilon: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "share", ensure_fraction("share", self.share))
+        eps, _ = ensure_epsilon_delta(self.epsilon, 0.5)
+        object.__setattr__(self, "epsilon", eps)
+
+    @property
+    def lower(self) -> float:
+        """Lower endpoint ``max(0, (1 - epsilon) a)``."""
+        return max(0.0, (1.0 - self.epsilon) * self.share)
+
+    @property
+    def upper(self) -> float:
+        """Upper endpoint ``min(1, (1 + epsilon) a)``."""
+        return min(1.0, (1.0 + self.epsilon) * self.share)
+
+    def contains(self, fractions) -> np.ndarray:
+        """Element-wise membership of reward fractions in the fair area.
+
+        Endpoints are treated with a 1e-12 absolute tolerance so that
+        float rounding of ``(1 +- epsilon) * a`` cannot exclude values
+        that are exactly on the boundary.
+        """
+        values = np.asarray(fractions, dtype=float)
+        atol = 1e-12
+        result = (values >= self.lower - atol) & (values <= self.upper + atol)
+        if result.ndim == 0:
+            return bool(result)
+        return result
+
+    def fair_probability(self, fractions) -> float:
+        """Empirical probability mass inside the fair area."""
+        values = np.asarray(fractions, dtype=float)
+        if values.size == 0:
+            raise ValueError("fractions must not be empty")
+        return float(np.mean(self.contains(values)))
+
+    def unfair_probability(self, fractions) -> float:
+        """Empirical probability mass in the unfair area (Section 5.4)."""
+        return 1.0 - self.fair_probability(fractions)
+
+
+@dataclass(frozen=True)
+class ExpectationalVerdict:
+    """Outcome of an expectational-fairness check.
+
+    Attributes
+    ----------
+    share:
+        Target expected fraction ``a``.
+    sample_mean:
+        Empirical mean of ``lambda_A``.
+    standard_error:
+        Standard error of the sample mean.
+    z_score:
+        Studentised deviation ``(mean - a) / stderr`` (``nan`` when the
+        standard error is zero).
+    is_fair:
+        Whether the mean is within the acceptance region.
+    """
+
+    share: float
+    sample_mean: float
+    standard_error: float
+    z_score: float
+    is_fair: bool
+
+    @property
+    def bias(self) -> float:
+        """Signed deviation of the empirical mean from ``a``."""
+        return self.sample_mean - self.share
+
+
+@dataclass(frozen=True)
+class RobustVerdict:
+    """Outcome of an ``(epsilon, delta)``-fairness check.
+
+    Attributes
+    ----------
+    fair_area:
+        The interval tested.
+    delta:
+        Allowed unfair probability.
+    fair_probability / unfair_probability:
+        Empirical masses inside/outside the fair area.
+    is_fair:
+        ``unfair_probability <= delta``.
+    sample_size:
+        Number of evaluated outcomes.
+    """
+
+    fair_area: FairArea
+    delta: float
+    fair_probability: float
+    unfair_probability: float
+    is_fair: bool
+    sample_size: int
+
+
+class ExpectationalFairness:
+    """Checker for Definition 3.1, ``E[lambda_A] = a``.
+
+    Two acceptance modes:
+
+    * ``tolerance`` — accept when ``|mean - a| <= tolerance``.
+    * ``z_threshold`` (default 4.0) — accept when the studentised
+      deviation is below the threshold; adapts automatically to the
+      Monte Carlo sample size.
+
+    Parameters
+    ----------
+    share:
+        The miner's initial resource share ``a``.
+    tolerance:
+        Absolute tolerance on the mean; overrides the z-test if given.
+    z_threshold:
+        Studentised-deviation threshold used when no tolerance is set.
+    """
+
+    def __init__(
+        self,
+        share: float,
+        *,
+        tolerance: Optional[float] = None,
+        z_threshold: float = 4.0,
+    ) -> None:
+        self.share = ensure_fraction("share", share)
+        self.tolerance = (
+            None if tolerance is None else ensure_positive_float("tolerance", tolerance)
+        )
+        self.z_threshold = ensure_positive_float("z_threshold", z_threshold)
+
+    def evaluate(self, fractions) -> ExpectationalVerdict:
+        """Evaluate samples of ``lambda_A`` and return a verdict."""
+        values = np.asarray(fractions, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("fractions must not be empty")
+        if np.any(values < -1e-12) or np.any(values > 1.0 + 1e-12):
+            raise ValueError("reward fractions must lie in [0, 1]")
+        mean = float(values.mean())
+        if values.size > 1:
+            stderr = float(values.std(ddof=1) / math.sqrt(values.size))
+        else:
+            stderr = 0.0
+        if self.tolerance is not None:
+            is_fair = abs(mean - self.share) <= self.tolerance
+            z_score = (mean - self.share) / stderr if stderr > 0 else math.nan
+        elif stderr <= 1e-15:
+            # Degenerate (near-constant) sample: the z-test is
+            # meaningless, compare means directly.
+            z_score = math.nan
+            is_fair = abs(mean - self.share) <= 1e-9
+        else:
+            z_score = (mean - self.share) / stderr
+            is_fair = abs(z_score) <= self.z_threshold
+        return ExpectationalVerdict(
+            share=self.share,
+            sample_mean=mean,
+            standard_error=stderr,
+            z_score=z_score,
+            is_fair=is_fair,
+        )
+
+    def __repr__(self) -> str:
+        return f"ExpectationalFairness(share={self.share})"
+
+
+class RobustFairness:
+    """Checker for Definition 4.1, ``(epsilon, delta)``-fairness.
+
+    Parameters
+    ----------
+    share:
+        The miner's initial resource share ``a``.
+    epsilon:
+        Relative width of the fair area (default 0.1, Section 5.1).
+    delta:
+        Allowed unfair probability (default 0.1, Section 5.1).
+    """
+
+    def __init__(
+        self,
+        share: float,
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+    ) -> None:
+        epsilon, delta = ensure_epsilon_delta(epsilon, delta)
+        self.fair_area = FairArea(share=share, epsilon=epsilon)
+        self.delta = delta
+
+    @property
+    def share(self) -> float:
+        return self.fair_area.share
+
+    @property
+    def epsilon(self) -> float:
+        return self.fair_area.epsilon
+
+    def evaluate(self, fractions) -> RobustVerdict:
+        """Evaluate samples of ``lambda_A`` and return a verdict."""
+        values = np.asarray(fractions, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("fractions must not be empty")
+        fair = self.fair_area.fair_probability(values)
+        unfair = 1.0 - fair
+        return RobustVerdict(
+            fair_area=self.fair_area,
+            delta=self.delta,
+            fair_probability=fair,
+            unfair_probability=unfair,
+            is_fair=unfair <= self.delta,
+            sample_size=values.size,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RobustFairness(share={self.share}, epsilon={self.epsilon}, "
+            f"delta={self.delta})"
+        )

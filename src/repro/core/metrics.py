@@ -1,0 +1,226 @@
+"""Scalar metrics derived from mining outcomes.
+
+Beyond the two fairness notions, the experiments report several
+derived quantities:
+
+* :func:`reward_fraction` — ``lambda_A`` from reward tallies.
+* :func:`return_on_investment` — the normalised ROI ``lambda_A / a``
+  (robust fairness says this concentrates near 1).
+* :func:`unfair_probability` — the Section 5.4 metric.
+* :func:`convergence_time` — the Table 1 "Cvg. Time" column: the first
+  checkpoint after which the unfair probability stays at or below
+  ``delta``.
+* :func:`gini_coefficient` / :func:`herfindahl_index` /
+  :func:`nakamoto_coefficient` — decentralisation measures used in the
+  extended analyses (Section 6.5 motivates monitoring concentration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .._validation import ensure_epsilon_delta, ensure_fraction
+from .fairness import FairArea
+
+__all__ = [
+    "reward_fraction",
+    "return_on_investment",
+    "unfair_probability",
+    "unfair_probability_series",
+    "convergence_time",
+    "gini_coefficient",
+    "herfindahl_index",
+    "nakamoto_coefficient",
+    "monopolisation_probability",
+]
+
+#: Sentinel returned by :func:`convergence_time` when fairness is never reached.
+NEVER = math.inf
+
+
+def reward_fraction(rewards, total_reward) -> np.ndarray:
+    """Fraction of the total issued reward captured by a miner.
+
+    Parameters
+    ----------
+    rewards:
+        Reward amounts (scalar or array).
+    total_reward:
+        Total rewards issued over the same period (broadcastable).
+    """
+    rewards_arr = np.asarray(rewards, dtype=float)
+    total_arr = np.asarray(total_reward, dtype=float)
+    if np.any(total_arr <= 0.0):
+        raise ValueError("total_reward must be positive")
+    result = rewards_arr / total_arr
+    if np.any(result < -1e-12) or np.any(result > 1.0 + 1e-12):
+        raise ValueError("reward fraction escaped [0, 1]; inconsistent totals")
+    return np.clip(result, 0.0, 1.0)
+
+
+def return_on_investment(fractions, share: float) -> np.ndarray:
+    """Normalised return on investment ``lambda / a``.
+
+    Equal to one for a perfectly proportional outcome; robust fairness
+    states it concentrates within ``[1 - epsilon, 1 + epsilon]``.
+    """
+    share = ensure_fraction("share", share)
+    return np.asarray(fractions, dtype=float) / share
+
+
+def unfair_probability(
+    fractions, share: float, epsilon: float = 0.1
+) -> float:
+    """``Pr[lambda < (1-e)a or lambda > (1+e)a]`` (Section 5.4)."""
+    area = FairArea(share=share, epsilon=epsilon)
+    return area.unfair_probability(fractions)
+
+
+def unfair_probability_series(
+    fractions_by_checkpoint: np.ndarray, share: float, epsilon: float = 0.1
+) -> np.ndarray:
+    """Unfair probability at every checkpoint.
+
+    Parameters
+    ----------
+    fractions_by_checkpoint:
+        Array of shape ``(trials, checkpoints)`` of reward fractions.
+    share, epsilon:
+        Fair-area parameters.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(checkpoints,)``.
+    """
+    values = np.asarray(fractions_by_checkpoint, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(
+            f"fractions_by_checkpoint must be 2-D (trials, checkpoints), "
+            f"got shape {values.shape}"
+        )
+    area = FairArea(share=share, epsilon=epsilon)
+    return 1.0 - np.asarray(area.contains(values), dtype=float).mean(axis=0)
+
+
+def convergence_time(
+    checkpoints: Sequence[int],
+    unfair_probabilities: Sequence[float],
+    delta: float = 0.1,
+    *,
+    sustained: bool = True,
+) -> float:
+    """First checkpoint at which (epsilon, delta)-fairness is achieved.
+
+    Implements the Table 1 "Cvg. Time" column: the earliest recorded
+    block/epoch count whose unfair probability is at most ``delta``.
+    With ``sustained=True`` (default) the unfair probability must also
+    stay at or below ``delta`` at every later checkpoint, so transient
+    dips do not count as convergence.
+
+    Returns
+    -------
+    float
+        The checkpoint value, or ``math.inf`` ("Never") when fairness
+        is not achieved within the recorded horizon.
+    """
+    _, delta = ensure_epsilon_delta(0.0, delta)
+    checkpoints_arr = np.asarray(list(checkpoints), dtype=float)
+    unfair_arr = np.asarray(list(unfair_probabilities), dtype=float)
+    if checkpoints_arr.shape != unfair_arr.shape:
+        raise ValueError("checkpoints and unfair_probabilities must align")
+    if checkpoints_arr.size == 0:
+        raise ValueError("need at least one checkpoint")
+    if np.any(np.diff(checkpoints_arr) <= 0):
+        raise ValueError("checkpoints must be strictly increasing")
+    below = unfair_arr <= delta
+    if sustained:
+        # below and stays below: suffix-all of the boolean series.
+        suffix_ok = np.logical_and.accumulate(below[::-1])[::-1]
+        hits = np.nonzero(suffix_ok)[0]
+    else:
+        hits = np.nonzero(below)[0]
+    if hits.size == 0:
+        return NEVER
+    return float(checkpoints_arr[hits[0]])
+
+
+def gini_coefficient(amounts) -> float:
+    """Gini coefficient of a non-negative amount vector (0 = equal)."""
+    values = np.sort(np.asarray(amounts, dtype=float).ravel())
+    if values.size == 0:
+        raise ValueError("amounts must not be empty")
+    if np.any(values < 0.0):
+        raise ValueError("amounts must be non-negative")
+    total = values.sum()
+    if total == 0.0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * np.sum(ranks * values)) / (n * total) - (n + 1.0) / n)
+
+
+def herfindahl_index(amounts) -> float:
+    """Herfindahl-Hirschman concentration index, ``sum(share_i^2)``.
+
+    Ranges from ``1/m`` (equal split among ``m`` holders) to 1
+    (monopoly).
+    """
+    values = np.asarray(amounts, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("amounts must not be empty")
+    if np.any(values < 0.0):
+        raise ValueError("amounts must be non-negative")
+    total = values.sum()
+    if total == 0.0:
+        raise ValueError("amounts must not be all zero")
+    shares = values / total
+    return float(np.sum(shares * shares))
+
+
+def nakamoto_coefficient(amounts, threshold: float = 0.5) -> int:
+    """Minimum number of holders jointly exceeding ``threshold`` of the total.
+
+    The blockchain community's standard decentralisation measure; a
+    value of 1 means a single entity already controls a majority (the
+    51%-attack condition discussed in Section 6.5).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    values = np.sort(np.asarray(amounts, dtype=float).ravel())[::-1]
+    if values.size == 0:
+        raise ValueError("amounts must not be empty")
+    if np.any(values < 0.0):
+        raise ValueError("amounts must be non-negative")
+    total = values.sum()
+    if total == 0.0:
+        raise ValueError("amounts must not be all zero")
+    cumulative = np.cumsum(values) / total
+    # Strictly exceed the threshold: two of four equal holders reach
+    # exactly 50% but cannot attack, so they do not count.
+    return int(np.searchsorted(cumulative, threshold, side="right") + 1)
+
+
+def monopolisation_probability(
+    terminal_shares: np.ndarray, *, margin: float = 0.99
+) -> float:
+    """Fraction of trials in which one miner holds >= ``margin`` of stakes.
+
+    Used to verify Theorem 4.9 numerically: for SL-PoS this approaches
+    one as the horizon grows.
+
+    Parameters
+    ----------
+    terminal_shares:
+        Array of shape ``(trials, miners)`` of final stake shares.
+    margin:
+        Dominance threshold (default 0.99).
+    """
+    if not 0.5 < margin <= 1.0:
+        raise ValueError("margin must be in (0.5, 1]")
+    shares = np.asarray(terminal_shares, dtype=float)
+    if shares.ndim != 2:
+        raise ValueError("terminal_shares must be 2-D (trials, miners)")
+    return float(np.mean(shares.max(axis=1) >= margin))

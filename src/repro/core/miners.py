@@ -1,0 +1,199 @@
+"""Miner identities and resource allocations.
+
+The paper's games are parameterised by an initial *resource
+allocation*: hash-power shares for PoW, stake shares for PoS,
+normalised to sum to one (Assumption 2).  This module provides
+:class:`Miner` (a named participant) and :class:`Allocation` (an
+immutable normalised share vector with the constructors used across
+the experiments: two-miner ``a`` vs ``1-a``, and the Table 1 layout of
+one focal miner plus equal competitors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import ensure_allocation, ensure_fraction, ensure_positive_int
+
+__all__ = ["Miner", "Allocation"]
+
+
+@dataclass(frozen=True)
+class Miner:
+    """A mining participant.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier ("A", "B", "pool-3", ...).
+    index:
+        Position in the allocation vector.
+    share:
+        Initial fraction of the total resource.
+    """
+
+    name: str
+    index: int
+    share: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("miner name must be non-empty")
+        if self.index < 0:
+            raise ValueError("miner index must be non-negative")
+        if not 0.0 < self.share < 1.0:
+            raise ValueError(f"miner share must be in (0, 1), got {self.share!r}")
+
+
+class Allocation:
+    """An immutable, normalised vector of initial resource shares.
+
+    Parameters
+    ----------
+    shares:
+        Positive per-miner shares.  Must sum to one unless
+        ``normalise=True``.
+    names:
+        Optional miner names; defaults to "A", "B", "C", ... then
+        "miner-10", "miner-11", ... beyond the alphabet.
+    normalise:
+        Rescale the shares to sum to one.
+
+    Examples
+    --------
+    >>> alloc = Allocation.two_miners(0.2)
+    >>> alloc.shares
+    array([0.2, 0.8])
+    >>> alloc.focal.name
+    'A'
+    """
+
+    def __init__(
+        self,
+        shares: Sequence[float],
+        *,
+        names: Optional[Sequence[str]] = None,
+        normalise: bool = False,
+    ) -> None:
+        array = ensure_allocation("shares", shares, normalise=normalise)
+        array.setflags(write=False)
+        self._shares = array
+        if names is None:
+            names = [self._default_name(i) for i in range(array.size)]
+        else:
+            names = list(names)
+            if len(names) != array.size:
+                raise ValueError(
+                    f"names has {len(names)} entries for {array.size} miners"
+                )
+            if len(set(names)) != len(names):
+                raise ValueError("miner names must be unique")
+        self._miners: Tuple[Miner, ...] = tuple(
+            Miner(name=name, index=i, share=float(share))
+            for i, (name, share) in enumerate(zip(names, array))
+        )
+
+    @staticmethod
+    def _default_name(index: int) -> str:
+        alphabet = "ABCDEFGHIJ"
+        if index < len(alphabet):
+            return alphabet[index]
+        return f"miner-{index}"
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def two_miners(cls, focal_share: float) -> "Allocation":
+        """The paper's default two-miner game: A holds ``a``, B holds ``1-a``."""
+        focal_share = ensure_fraction("focal_share", focal_share)
+        return cls([focal_share, 1.0 - focal_share])
+
+    @classmethod
+    def focal_vs_equal(cls, focal_share: float, total_miners: int) -> "Allocation":
+        """Table 1 layout: A holds ``a``; the rest split ``1-a`` equally."""
+        focal_share = ensure_fraction("focal_share", focal_share)
+        total_miners = ensure_positive_int("total_miners", total_miners)
+        if total_miners < 2:
+            raise ValueError("total_miners must be at least 2")
+        others = total_miners - 1
+        rest = (1.0 - focal_share) / others
+        return cls([focal_share] + [rest] * others)
+
+    @classmethod
+    def uniform(cls, total_miners: int) -> "Allocation":
+        """Every miner holds an identical share ``1/m``."""
+        total_miners = ensure_positive_int("total_miners", total_miners)
+        if total_miners < 2:
+            raise ValueError("total_miners must be at least 2")
+        return cls([1.0 / total_miners] * total_miners)
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def shares(self) -> np.ndarray:
+        """The (read-only) normalised share vector."""
+        return self._shares
+
+    @property
+    def miners(self) -> Tuple[Miner, ...]:
+        """The miners in index order."""
+        return self._miners
+
+    @property
+    def focal(self) -> Miner:
+        """The focal miner (index 0, "miner A" throughout the paper)."""
+        return self._miners[0]
+
+    @property
+    def focal_share(self) -> float:
+        """The focal miner's initial share ``a``."""
+        return float(self._shares[0])
+
+    @property
+    def size(self) -> int:
+        """Number of miners."""
+        return self._shares.size
+
+    def share_of(self, name: str) -> float:
+        """The initial share of the miner called ``name``."""
+        for miner in self._miners:
+            if miner.name == name:
+                return miner.share
+        raise KeyError(f"no miner named {name!r}")
+
+    def tiled(self, trials: int) -> np.ndarray:
+        """Shares repeated into a ``(trials, miners)`` ensemble matrix."""
+        trials = ensure_positive_int("trials", trials)
+        return np.tile(self._shares, (trials, 1))
+
+    # -- dunder ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._shares.size
+
+    def __iter__(self) -> Iterator[Miner]:
+        return iter(self._miners)
+
+    def __getitem__(self, index: int) -> Miner:
+        return self._miners[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Allocation):
+            return NotImplemented
+        return (
+            self._shares.shape == other._shares.shape
+            and bool(np.allclose(self._shares, other._shares))
+            and [m.name for m in self._miners] == [m.name for m in other._miners]
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (tuple(np.round(self._shares, 12)), tuple(m.name for m in self._miners))
+        )
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{m.name}={m.share:.4g}" for m in self._miners)
+        return f"Allocation({parts})"

@@ -1,0 +1,274 @@
+"""Structured results of ensemble mining simulations.
+
+An :class:`EnsembleResult` captures everything the paper's figures
+need: the reward fraction ``lambda`` of every miner in every trial at a
+set of checkpoints, plus terminal stake shares.  It offers the derived
+series that Figures 2-6 plot (sample mean, percentile envelope, unfair
+probability) and the summary statistics of Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import ensure_epsilon_delta
+from .fairness import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    ExpectationalFairness,
+    ExpectationalVerdict,
+    RobustFairness,
+    RobustVerdict,
+)
+from .metrics import (
+    convergence_time,
+    monopolisation_probability,
+    unfair_probability_series,
+)
+from .miners import Allocation
+
+__all__ = ["EnsembleResult", "SeriesSummary"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """The per-checkpoint series a paper figure plots for one miner.
+
+    Attributes
+    ----------
+    checkpoints:
+        Block (or epoch) counts at which the series is evaluated.
+    mean:
+        Sample mean of ``lambda`` (the orange line in Figure 2).
+    lower / upper:
+        Percentile envelope (the blue band in Figure 2; 5th and 95th
+        percentiles by default).
+    unfair_probability:
+        Mass outside the fair area at each checkpoint (Figures 3/5).
+    """
+
+    checkpoints: np.ndarray
+    mean: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    unfair_probability: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.checkpoints),
+            len(self.mean),
+            len(self.lower),
+            len(self.upper),
+            len(self.unfair_probability),
+        }
+        if len(lengths) != 1:
+            raise ValueError("all series must have the same length")
+
+
+class EnsembleResult:
+    """Monte Carlo outcome of a mining game over many independent trials.
+
+    Parameters
+    ----------
+    protocol_name:
+        Name of the simulated incentive protocol.
+    allocation:
+        The initial resource allocation.
+    checkpoints:
+        Strictly increasing block/epoch counts at which fractions were
+        recorded.
+    reward_fractions:
+        Array of shape ``(trials, checkpoints, miners)`` holding each
+        miner's cumulative reward fraction ``lambda`` at each
+        checkpoint.
+    terminal_stakes:
+        Array of shape ``(trials, miners)`` with final stake shares
+        (equal to hash-power shares for PoW).
+    round_unit:
+        "block" or "epoch"; cosmetic, used by reports.
+    """
+
+    def __init__(
+        self,
+        protocol_name: str,
+        allocation: Allocation,
+        checkpoints: Sequence[int],
+        reward_fractions: np.ndarray,
+        terminal_stakes: Optional[np.ndarray] = None,
+        *,
+        round_unit: str = "block",
+    ) -> None:
+        self.protocol_name = str(protocol_name)
+        self.allocation = allocation
+        self.checkpoints = np.asarray(list(checkpoints), dtype=int)
+        if self.checkpoints.ndim != 1 or self.checkpoints.size == 0:
+            raise ValueError("checkpoints must be a non-empty 1-D sequence")
+        if np.any(np.diff(self.checkpoints) <= 0):
+            raise ValueError("checkpoints must be strictly increasing")
+        fractions = np.asarray(reward_fractions, dtype=float)
+        if fractions.ndim != 3:
+            raise ValueError(
+                "reward_fractions must have shape (trials, checkpoints, miners), "
+                f"got {fractions.shape}"
+            )
+        trials, n_checkpoints, miners = fractions.shape
+        if n_checkpoints != self.checkpoints.size:
+            raise ValueError(
+                f"reward_fractions has {n_checkpoints} checkpoints but "
+                f"{self.checkpoints.size} were supplied"
+            )
+        if miners != allocation.size:
+            raise ValueError(
+                f"reward_fractions covers {miners} miners but the allocation "
+                f"has {allocation.size}"
+            )
+        if np.any(fractions < -1e-9) or np.any(fractions > 1.0 + 1e-9):
+            raise ValueError("reward fractions must lie in [0, 1]")
+        self.reward_fractions = np.clip(fractions, 0.0, 1.0)
+        if terminal_stakes is not None:
+            terminal = np.asarray(terminal_stakes, dtype=float)
+            if terminal.shape != (trials, miners):
+                raise ValueError(
+                    f"terminal_stakes must have shape ({trials}, {miners}), "
+                    f"got {terminal.shape}"
+                )
+            self.terminal_stakes = terminal
+        else:
+            self.terminal_stakes = None
+        if round_unit not in ("block", "epoch"):
+            raise ValueError("round_unit must be 'block' or 'epoch'")
+        self.round_unit = round_unit
+
+    # -- basic accessors --------------------------------------------------
+
+    @property
+    def trials(self) -> int:
+        """Number of independent Monte Carlo trials."""
+        return self.reward_fractions.shape[0]
+
+    @property
+    def miners(self) -> int:
+        """Number of miners in the game."""
+        return self.reward_fractions.shape[2]
+
+    @property
+    def horizon(self) -> int:
+        """The final recorded block/epoch count."""
+        return int(self.checkpoints[-1])
+
+    def fractions_of(self, miner: int = 0) -> np.ndarray:
+        """Reward-fraction paths of one miner, shape ``(trials, checkpoints)``."""
+        if not 0 <= miner < self.miners:
+            raise IndexError(f"miner index {miner} out of range")
+        return self.reward_fractions[:, :, miner]
+
+    def final_fractions(self, miner: int = 0) -> np.ndarray:
+        """Reward fractions at the final checkpoint, shape ``(trials,)``."""
+        return self.fractions_of(miner)[:, -1]
+
+    def terminal_stake_shares(self) -> np.ndarray:
+        """Final stake shares, shape ``(trials, miners)``."""
+        if self.terminal_stakes is None:
+            raise ValueError("this result did not record terminal stakes")
+        totals = self.terminal_stakes.sum(axis=1, keepdims=True)
+        return self.terminal_stakes / totals
+
+    # -- figure series ------------------------------------------------------
+
+    def summary(
+        self,
+        miner: int = 0,
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        percentiles: Tuple[float, float] = (5.0, 95.0),
+    ) -> SeriesSummary:
+        """The Figure 2 style series for one miner."""
+        low_pct, high_pct = percentiles
+        if not 0.0 <= low_pct < high_pct <= 100.0:
+            raise ValueError("percentiles must satisfy 0 <= low < high <= 100")
+        paths = self.fractions_of(miner)
+        share = float(self.allocation.shares[miner])
+        return SeriesSummary(
+            checkpoints=self.checkpoints.copy(),
+            mean=paths.mean(axis=0),
+            lower=np.percentile(paths, low_pct, axis=0),
+            upper=np.percentile(paths, high_pct, axis=0),
+            unfair_probability=unfair_probability_series(paths, share, epsilon),
+        )
+
+    def unfair_probabilities(
+        self, miner: int = 0, *, epsilon: float = DEFAULT_EPSILON
+    ) -> np.ndarray:
+        """Unfair probability at every checkpoint (Figures 3 and 5)."""
+        share = float(self.allocation.shares[miner])
+        return unfair_probability_series(self.fractions_of(miner), share, epsilon)
+
+    # -- fairness verdicts ----------------------------------------------------
+
+    def expectational_verdict(
+        self, miner: int = 0, *, tolerance: Optional[float] = None
+    ) -> ExpectationalVerdict:
+        """Definition 3.1 check at the final checkpoint."""
+        share = float(self.allocation.shares[miner])
+        checker = ExpectationalFairness(share, tolerance=tolerance)
+        return checker.evaluate(self.final_fractions(miner))
+
+    def robust_verdict(
+        self,
+        miner: int = 0,
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+    ) -> RobustVerdict:
+        """Definition 4.1 check at the final checkpoint."""
+        share = float(self.allocation.shares[miner])
+        checker = RobustFairness(share, epsilon, delta)
+        return checker.evaluate(self.final_fractions(miner))
+
+    def convergence_time(
+        self,
+        miner: int = 0,
+        *,
+        epsilon: float = DEFAULT_EPSILON,
+        delta: float = DEFAULT_DELTA,
+    ) -> float:
+        """Table 1 "Cvg. Time": first sustained (epsilon, delta)-fair checkpoint."""
+        ensure_epsilon_delta(epsilon, delta)
+        return convergence_time(
+            self.checkpoints,
+            self.unfair_probabilities(miner, epsilon=epsilon),
+            delta,
+        )
+
+    def monopolisation_probability(self, *, margin: float = 0.99) -> float:
+        """Fraction of trials ending in near-monopoly (Theorem 4.9 check)."""
+        return monopolisation_probability(
+            self.terminal_stake_shares(), margin=margin
+        )
+
+    # -- persistence / interchange ---------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-Python summary (checkpoint series only) for serialisation."""
+        summary = self.summary()
+        return {
+            "protocol": self.protocol_name,
+            "round_unit": self.round_unit,
+            "trials": self.trials,
+            "shares": self.allocation.shares.tolist(),
+            "checkpoints": self.checkpoints.tolist(),
+            "mean": summary.mean.tolist(),
+            "p5": summary.lower.tolist(),
+            "p95": summary.upper.tolist(),
+            "unfair_probability": summary.unfair_probability.tolist(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EnsembleResult({self.protocol_name!r}, trials={self.trials}, "
+            f"miners={self.miners}, horizon={self.horizon} {self.round_unit}s)"
+        )

@@ -1,0 +1,42 @@
+"""Reproductions of every evaluation artefact in the paper.
+
+One module per figure/table (``figure1`` ... ``figure6``, ``table1``),
+each exposing a frozen ``Config`` dataclass with the paper's defaults
+and a ``run(config)`` returning a result object with ``render()`` and
+``to_dict()``.  The :mod:`~repro.experiments.registry` maps experiment
+ids to runners; :mod:`~repro.experiments.runner` is the
+``repro-experiments`` CLI.
+"""
+
+from . import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    section64,
+    table1,
+)
+from .config import CI, DEFAULT, PAPER, Preset, get_preset
+from .registry import EXPERIMENTS, Experiment, get_experiment, run_experiment
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "section64",
+    "table1",
+    "CI",
+    "DEFAULT",
+    "PAPER",
+    "Preset",
+    "get_preset",
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,63 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.miners import Allocation
+from ..core.results import EnsembleResult, SeriesSummary
+from ..protocols.base import IncentiveProtocol
+from ..protocols.c_pos import CompoundPoS
+from ..protocols.fsl_pos import FairSingleLotteryPoS
+from ..protocols.ml_pos import MultiLotteryPoS
+from ..protocols.pow import ProofOfWork
+from ..protocols.sl_pos import SingleLotteryPoS
+from ..sim.engine import MonteCarloEngine
+from ..sim.rng import RandomSource
+
+__all__ = [
+    "PAPER_PROTOCOL_ORDER",
+    "build_protocol",
+    "run_simulation",
+]
+
+#: The order in which the paper presents the four protocols.
+PAPER_PROTOCOL_ORDER = ("PoW", "ML-PoS", "SL-PoS", "C-PoS")
+
+
+def build_protocol(
+    key: str,
+    *,
+    reward: float,
+    inflation: float = 0.1,
+    shards: int = 32,
+) -> IncentiveProtocol:
+    """Construct one of the paper's four protocols by display name."""
+    if key == "PoW":
+        return ProofOfWork(reward=reward)
+    if key == "ML-PoS":
+        return MultiLotteryPoS(reward=reward)
+    if key == "SL-PoS":
+        return SingleLotteryPoS(reward=reward)
+    if key == "C-PoS":
+        return CompoundPoS(
+            proposer_reward=reward, inflation_reward=inflation, shards=shards
+        )
+    if key == "FSL-PoS":
+        return FairSingleLotteryPoS(reward=reward)
+    raise ValueError(f"unknown protocol key {key!r}")
+
+
+def run_simulation(
+    protocol: IncentiveProtocol,
+    allocation: Allocation,
+    horizon: int,
+    trials: int,
+    source: RandomSource,
+    checkpoints: Optional[Sequence[int]] = None,
+) -> EnsembleResult:
+    """Run one Monte Carlo configuration on a child random stream."""
+    engine = MonteCarloEngine(
+        protocol, allocation, trials=trials, seed=source.spawn_one()
+    )
+    return engine.run(horizon, checkpoints)

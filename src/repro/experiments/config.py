@@ -1,0 +1,113 @@
+"""Shared experiment configuration and scale presets.
+
+Every experiment accepts a :class:`Preset` bundling the Monte Carlo
+scale knobs.  Three stock presets:
+
+* ``PAPER`` — the paper's scale: 10,000 simulation trials; system
+  experiments with 10 repeats for PoW and 500 for PoS (Section 5.1).
+* ``DEFAULT`` — same horizons, fewer trials; minutes-not-hours on a
+  laptop while preserving every qualitative shape.
+* ``CI`` — seconds-scale for tests and benchmarks.
+
+The per-figure horizons live in the experiment modules (they are part
+of what the paper specifies); presets only scale sampling effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .._validation import ensure_positive_int
+
+__all__ = ["Preset", "PAPER", "DEFAULT", "CI", "get_preset"]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Monte Carlo scale knobs shared by all experiments.
+
+    Attributes
+    ----------
+    name:
+        Preset identifier.
+    trials:
+        Simulation trials per configuration (the paper uses 10,000).
+    heavy_trials:
+        Trials for long-horizon configurations (Figure 4's 100,000
+        block runs) where the per-trial cost is ~20x higher.
+    system_repeats_pow / system_repeats_pos:
+        Chainsim repeats standing in for the paper's 10 PoW / 500 PoS
+        AWS repeats.
+    horizon_scale:
+        Multiplier applied to the paper's horizons (CI shrinks them).
+    include_system:
+        Whether experiments also run the node-level substrate.
+    """
+
+    name: str
+    trials: int
+    heavy_trials: int
+    system_repeats_pow: int
+    system_repeats_pos: int
+    horizon_scale: float
+    include_system: bool
+
+    def __post_init__(self) -> None:
+        ensure_positive_int("trials", self.trials)
+        ensure_positive_int("heavy_trials", self.heavy_trials)
+        ensure_positive_int("system_repeats_pow", self.system_repeats_pow)
+        ensure_positive_int("system_repeats_pos", self.system_repeats_pos)
+        if self.horizon_scale <= 0.0 or self.horizon_scale > 1.0:
+            raise ValueError("horizon_scale must be in (0, 1]")
+
+    def horizon(self, paper_horizon: int) -> int:
+        """The paper horizon scaled to this preset (at least 10 rounds)."""
+        ensure_positive_int("paper_horizon", paper_horizon)
+        return max(10, int(round(paper_horizon * self.horizon_scale)))
+
+    def with_system(self, include: bool) -> "Preset":
+        """Copy of this preset with ``include_system`` overridden."""
+        return replace(self, include_system=include)
+
+
+PAPER = Preset(
+    name="paper",
+    trials=10_000,
+    heavy_trials=2_000,
+    system_repeats_pow=10,
+    system_repeats_pos=500,
+    horizon_scale=1.0,
+    include_system=True,
+)
+
+DEFAULT = Preset(
+    name="default",
+    trials=2_000,
+    heavy_trials=500,
+    system_repeats_pow=5,
+    system_repeats_pos=50,
+    horizon_scale=1.0,
+    include_system=True,
+)
+
+CI = Preset(
+    name="ci",
+    trials=300,
+    heavy_trials=100,
+    system_repeats_pow=2,
+    system_repeats_pos=8,
+    horizon_scale=0.1,
+    include_system=False,
+)
+
+_PRESETS = {preset.name: preset for preset in (PAPER, DEFAULT, CI)}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a stock preset by name ('paper', 'default', 'ci')."""
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; expected one of {sorted(_PRESETS)}"
+        ) from None

@@ -1,0 +1,94 @@
+"""Figure 1: the SL-PoS win probability and its drift field.
+
+The paper's Figure 1 illustrates why SL-PoS monopolises: plotted
+against the stake share ``z`` of miner A, the probability of winning
+the next block lies *below* ``z`` for ``z < 1/2`` and *above* it for
+``z > 1/2``, so the share is pushed towards the absorbing boundaries.
+This experiment tabulates the win probability, the proportional
+reference, and the stochastic-approximation drift ``f(z)``, and
+reports the drift's zeros with their stability classes (the analytic
+content of Theorem 4.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..theory.stochastic_approximation import (
+    Stability,
+    classify_zero,
+    find_drift_zeros,
+    sl_pos_drift,
+    sl_pos_win_probability_from_share,
+)
+from .report import render_table
+
+__all__ = ["Figure1Config", "Figure1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure1Config:
+    """Grid resolution for the drift tabulation."""
+
+    points: int = 21
+
+    def __post_init__(self) -> None:
+        if self.points < 3:
+            raise ValueError("points must be at least 3")
+
+
+@dataclass
+class Figure1Result:
+    """Tabulated SL-PoS drift field and its rest points."""
+
+    shares: np.ndarray
+    win_probability: np.ndarray
+    drift: np.ndarray
+    zeros: List[Tuple[float, Stability]]
+    config: Figure1Config = field(default_factory=Figure1Config)
+
+    def render(self) -> str:
+        rows = [
+            [z, p, z, f]
+            for z, p, f in zip(self.shares, self.win_probability, self.drift)
+        ]
+        table = render_table(
+            ["share z", "Pr[win next block]", "proportional", "drift f(z)"],
+            rows,
+            title="Figure 1: SL-PoS win probability vs stake share",
+        )
+        zero_rows = [[z, s.value] for z, s in self.zeros]
+        zeros_table = render_table(
+            ["rest point", "stability"],
+            zero_rows,
+            title="Drift zeros (Theorem 4.9)",
+        )
+        return table + "\n\n" + zeros_table
+
+    def to_dict(self) -> dict:
+        return {
+            "shares": self.shares.tolist(),
+            "win_probability": self.win_probability.tolist(),
+            "drift": self.drift.tolist(),
+            "zeros": [[z, s.value] for z, s in self.zeros],
+        }
+
+
+def run(config: Figure1Config = Figure1Config()) -> Figure1Result:
+    """Tabulate the Figure 1 curves and classify the drift zeros."""
+    shares = np.linspace(0.0, 1.0, config.points)
+    win_probability = np.asarray(sl_pos_win_probability_from_share(shares))
+    drift = np.asarray(sl_pos_drift(shares))
+    zeros = [
+        (z, classify_zero(sl_pos_drift, z)) for z in find_drift_zeros(sl_pos_drift)
+    ]
+    return Figure1Result(
+        shares=shares,
+        win_probability=win_probability,
+        drift=drift,
+        zeros=zeros,
+        config=config,
+    )

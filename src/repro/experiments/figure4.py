@@ -1,0 +1,136 @@
+"""Figure 4: the SL-PoS expectational-fairness study.
+
+Tracks the *average* reward proportion ``E[lambda_A]`` of SL-PoS over
+long horizons:
+
+* panel (a): ``w = 0.01``, initial shares ``a`` in {0.1, ..., 0.5};
+* panel (b): ``a = 0.2``, block rewards ``w`` in {1e-4, ..., 1e-1}.
+
+Expected shapes (paper Section 5.3): every ``a < 0.5`` decays to ~0
+(larger ``a`` decays slower); ``a = 0.5`` stays put by symmetry; the
+decay rate grows with ``w`` because larger rewards compound the
+advantage faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.miners import Allocation
+from ..protocols.sl_pos import SingleLotteryPoS
+from ..sim.checkpoints import geometric_checkpoints
+from ..sim.rng import RandomSource
+from ._common import run_simulation
+from .config import DEFAULT, Preset
+from .report import render_table, subsample_rows
+
+__all__ = ["Figure4Config", "Figure4Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure4Config:
+    """Parameters of Figure 4 (paper defaults)."""
+
+    shares: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+    rewards: Tuple[float, ...] = (1e-4, 1e-3, 1e-2, 1e-1)
+    fixed_reward: float = 0.01
+    fixed_share: float = 0.2
+    horizon: int = 100_000
+    preset: Preset = DEFAULT
+    seed: int = 2021
+
+
+@dataclass
+class Figure4Result:
+    """Mean ``lambda_A`` series for both panels."""
+
+    config: Figure4Config
+    checkpoints: np.ndarray
+    by_share: Dict[float, np.ndarray]
+    by_reward: Dict[float, np.ndarray]
+
+    def render(self, *, max_rows: int = 12) -> str:
+        share_headers = ["n"] + [f"a={share:g}" for share in sorted(self.by_share)]
+        share_rows = []
+        for i, n in enumerate(self.checkpoints):
+            share_rows.append(
+                [int(n)]
+                + [float(self.by_share[share][i]) for share in sorted(self.by_share)]
+            )
+        reward_headers = ["n"] + [f"w={reward:g}" for reward in sorted(self.by_reward)]
+        reward_rows = []
+        for i, n in enumerate(self.checkpoints):
+            reward_rows.append(
+                [int(n)]
+                + [float(self.by_reward[reward][i]) for reward in sorted(self.by_reward)]
+            )
+        return "\n\n".join(
+            [
+                render_table(
+                    share_headers,
+                    subsample_rows(share_rows, max_rows),
+                    title=(
+                        "Figure 4(a): SL-PoS mean lambda_A by initial share "
+                        f"(w={self.config.fixed_reward:g})"
+                    ),
+                ),
+                render_table(
+                    reward_headers,
+                    subsample_rows(reward_rows, max_rows),
+                    title=(
+                        "Figure 4(b): SL-PoS mean lambda_A by block reward "
+                        f"(a={self.config.fixed_share:g})"
+                    ),
+                ),
+            ]
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "checkpoints": self.checkpoints.tolist(),
+            "by_share": {f"{k:g}": v.tolist() for k, v in self.by_share.items()},
+            "by_reward": {f"{k:g}": v.tolist() for k, v in self.by_reward.items()},
+        }
+
+
+def run(config: Figure4Config = Figure4Config()) -> Figure4Result:
+    """Run the Figure 4 experiment."""
+    preset = config.preset
+    source = RandomSource(config.seed)
+    horizon = preset.horizon(config.horizon)
+    checkpoints = geometric_checkpoints(horizon, count=30, first=10)
+    trials = preset.heavy_trials
+
+    by_share: Dict[float, np.ndarray] = {}
+    for share in config.shares:
+        result = run_simulation(
+            SingleLotteryPoS(config.fixed_reward),
+            Allocation.two_miners(share),
+            horizon,
+            trials,
+            source,
+            checkpoints,
+        )
+        by_share[share] = result.summary().mean
+
+    by_reward: Dict[float, np.ndarray] = {}
+    for reward in config.rewards:
+        result = run_simulation(
+            SingleLotteryPoS(reward),
+            Allocation.two_miners(config.fixed_share),
+            horizon,
+            trials,
+            source,
+            checkpoints,
+        )
+        by_reward[reward] = result.summary().mean
+
+    return Figure4Result(
+        config=config,
+        checkpoints=np.asarray(checkpoints),
+        by_share=by_share,
+        by_reward=by_reward,
+    )

@@ -1,0 +1,100 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Examples
+--------
+Run one experiment at CI scale::
+
+    repro-experiments fig2 --preset ci
+
+Run everything at paper scale, saving JSON series next to the text::
+
+    repro-experiments all --preset paper --json results/
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+from .config import get_preset
+from .registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the figures and tables of 'Do the Rich Get Richer? "
+            "Fairness Analysis for Blockchain Incentives' (SIGMOD 2021)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id, or 'all'",
+    )
+    parser.add_argument(
+        "--preset",
+        default="default",
+        choices=["paper", "default", "ci"],
+        help="Monte Carlo scale preset (default: default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiment seed"
+    )
+    parser.add_argument(
+        "--no-system",
+        action="store_true",
+        help="skip the node-level chainsim runs",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="also write <experiment>.json series into DIR",
+    )
+    return parser
+
+
+def _run_one(key: str, preset, seed: Optional[int], json_dir) -> str:
+    experiment = get_experiment(key)
+    start = time.perf_counter()
+    result = experiment.run_with_preset(preset, seed)
+    elapsed = time.perf_counter() - start
+    text = result.render()
+    banner = (
+        f"=== {experiment.artefact} [{key}] "
+        f"(preset={preset.name}, {elapsed:.1f}s) ==="
+    )
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        path = json_dir / f"{key}.json"
+        with open(path, "w") as handle:
+            json.dump(result.to_dict(), handle, indent=2)
+    return f"{banner}\n{text}\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    preset = get_preset(args.preset)
+    if args.no_system:
+        preset = preset.with_system(False)
+    keys = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        print(_run_one(key, preset, args.seed, args.json))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Executable incentive models on a common simulation interface.
+
+The four protocols analysed in the paper:
+
+* :class:`ProofOfWork` (Section 2.1)
+* :class:`MultiLotteryPoS` (Section 2.2, Qtum/Blackcoin)
+* :class:`SingleLotteryPoS` (Section 2.3, NXT)
+* :class:`CompoundPoS` (Section 2.4, Ethereum 2.0)
+
+the paper's remedies:
+
+* :class:`FairSingleLotteryPoS` (Section 6.2)
+* :class:`RewardWithholding` (Section 6.3)
+
+and the Section 6.4 extensions:
+
+* :class:`NeoPoS`, :class:`AlgorandPoS`, :class:`EOSDelegatedPoS`,
+  :class:`WavePoS`, :class:`VixifyPoS`, :class:`FilecoinStorage`.
+"""
+
+from .base import (
+    EnsembleState,
+    IncentiveProtocol,
+    StakeLotteryProtocol,
+    sample_winners,
+)
+from .c_pos import BlockGranularCompoundPoS, CompoundPoS
+from .extended import (
+    AlgorandPoS,
+    EOSDelegatedPoS,
+    FilecoinStorage,
+    NeoPoS,
+    VixifyPoS,
+    WavePoS,
+)
+from .fsl_pos import FairSingleLotteryPoS
+from .ml_pos import MultiLotteryPoS
+from .pow import ProofOfWork
+from .sl_pos import SingleLotteryPoS
+from .withholding import RewardWithholding
+
+__all__ = [
+    "EnsembleState",
+    "IncentiveProtocol",
+    "StakeLotteryProtocol",
+    "sample_winners",
+    "ProofOfWork",
+    "MultiLotteryPoS",
+    "SingleLotteryPoS",
+    "CompoundPoS",
+    "BlockGranularCompoundPoS",
+    "FairSingleLotteryPoS",
+    "RewardWithholding",
+    "NeoPoS",
+    "AlgorandPoS",
+    "EOSDelegatedPoS",
+    "WavePoS",
+    "VixifyPoS",
+    "FilecoinStorage",
+]

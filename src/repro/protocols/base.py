@@ -1,0 +1,212 @@
+"""Protocol interfaces for vectorised mining-game simulation.
+
+Every incentive model in the paper advances in *rounds* — a block for
+PoW/ML-PoS/SL-PoS, an epoch for C-PoS — and in each round issues a
+fixed total reward whose split among miners is random.  The simulator
+keeps an ensemble of independent trials as ``(trials, miners)`` arrays
+and asks the protocol to advance all trials by one round at a time.
+
+Two abstractions:
+
+* :class:`IncentiveProtocol` — the general interface (``make_state``,
+  ``step``, ``advance_many``).
+* :class:`StakeLotteryProtocol` — the common single-winner-per-block
+  case (PoW, ML-PoS, SL-PoS, FSL-PoS, Filecoin, ...): subclasses only
+  define how the winner is drawn from the current competing resource.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .._validation import ensure_positive_int
+from ..core.miners import Allocation
+
+__all__ = ["EnsembleState", "IncentiveProtocol", "StakeLotteryProtocol", "sample_winners"]
+
+
+def sample_winners(probabilities: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draw one winner per trial from per-trial categorical laws.
+
+    Parameters
+    ----------
+    probabilities:
+        Array of shape ``(trials, miners)``; rows must sum to one.
+    rng:
+        Random generator.
+
+    Returns
+    -------
+    numpy.ndarray of shape ``(trials,)`` with winner indices.
+
+    Notes
+    -----
+    Uses the inverse-CDF method vectorised across trials: one uniform
+    per trial compared against the per-row cumulative sums.  This is
+    the hot path of the whole simulator.
+    """
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be 2-D (trials, miners)")
+    cdf = np.cumsum(probabilities, axis=1)
+    draws = rng.random(probabilities.shape[0])
+    # Guard against rounding: force the last column to 1 exactly.
+    cdf[:, -1] = 1.0
+    winners = (draws[:, None] > cdf).sum(axis=1)
+    return winners
+
+
+@dataclass
+class EnsembleState:
+    """Mutable simulation state of an ensemble of mining games.
+
+    Attributes
+    ----------
+    stakes:
+        Current *competing resource* per trial and miner — hash power
+        for PoW (constant), effective stakes for PoS.  Shape
+        ``(trials, miners)``.
+    rewards:
+        Cumulative *issued* rewards per trial and miner.  Shape
+        ``(trials, miners)``.  Reward-withholding schemes issue here
+        immediately even though the stake effect is delayed.
+    round_index:
+        Number of completed rounds.
+    extra:
+        Protocol-private auxiliary arrays (e.g. pending vesting
+        rewards).
+    """
+
+    stakes: np.ndarray
+    rewards: np.ndarray
+    round_index: int = 0
+    extra: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def trials(self) -> int:
+        return self.stakes.shape[0]
+
+    @property
+    def miners(self) -> int:
+        return self.stakes.shape[1]
+
+    def stake_shares(self) -> np.ndarray:
+        """Current stake shares, shape ``(trials, miners)``."""
+        return self.stakes / self.stakes.sum(axis=1, keepdims=True)
+
+    def reward_fractions(self, total_issued: float) -> np.ndarray:
+        """Cumulative reward fractions given the total issued so far."""
+        if total_issued <= 0.0:
+            raise ValueError("total_issued must be positive")
+        return self.rewards / total_issued
+
+
+class IncentiveProtocol(abc.ABC):
+    """Abstract incentive model advancing an ensemble round by round."""
+
+    #: Cosmetic unit of one round ("block" or "epoch").
+    round_unit: str = "block"
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short protocol name ("PoW", "ML-PoS", ...)."""
+
+    @property
+    @abc.abstractmethod
+    def reward_per_round(self) -> float:
+        """Total reward issued to all miners in one round."""
+
+    @abc.abstractmethod
+    def make_state(self, allocation: Allocation, trials: int) -> EnsembleState:
+        """Create the initial ensemble state for ``trials`` games."""
+
+    @abc.abstractmethod
+    def step(self, state: EnsembleState, rng: np.random.Generator) -> None:
+        """Advance every trial by one round, in place."""
+
+    def advance_many(
+        self, state: EnsembleState, rounds: int, rng: np.random.Generator
+    ) -> None:
+        """Advance every trial by ``rounds`` rounds.
+
+        The default implementation loops :meth:`step`; protocols whose
+        dynamics allow it (PoW's i.i.d. lottery) override this with a
+        closed-form jump.
+        """
+        rounds = ensure_positive_int("rounds", rounds)
+        for _ in range(rounds):
+            self.step(state, rng)
+
+    def total_issued(self, rounds: int) -> float:
+        """Total reward issued after ``rounds`` rounds."""
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        return self.reward_per_round * rounds
+
+    def _initial_arrays(self, allocation: Allocation, trials: int) -> EnsembleState:
+        """Shared state construction: tiled stakes, zero rewards."""
+        trials = ensure_positive_int("trials", trials)
+        stakes = allocation.tiled(trials)
+        rewards = np.zeros_like(stakes)
+        return EnsembleState(stakes=stakes, rewards=rewards)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class StakeLotteryProtocol(IncentiveProtocol):
+    """A protocol in which each round elects exactly one block proposer.
+
+    Subclasses define :meth:`sample_block_winners` (how the proposer is
+    drawn from the current competing resource) and optionally override
+    :meth:`credit_reward` (how the block reward feeds back into the
+    resource — PoW's does not, PoS's does).
+
+    Parameters
+    ----------
+    reward:
+        Block reward ``w``, normalised against the initial resource.
+    """
+
+    def __init__(self, reward: float) -> None:
+        if reward <= 0.0:
+            raise ValueError(f"reward must be positive, got {reward!r}")
+        self._reward = float(reward)
+
+    @property
+    def reward_per_round(self) -> float:
+        return self._reward
+
+    @property
+    def reward(self) -> float:
+        """The block reward ``w`` (alias of :attr:`reward_per_round`)."""
+        return self._reward
+
+    @abc.abstractmethod
+    def sample_block_winners(
+        self, state: EnsembleState, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw this round's proposer for every trial, shape ``(trials,)``."""
+
+    def credit_reward(self, state: EnsembleState, winners: np.ndarray) -> None:
+        """Apply the block reward of this round's winners to the state.
+
+        Default: the reward both accrues as income and compounds into
+        the competing resource (the PoS behaviour).  PoW overrides to
+        skip compounding.
+        """
+        rows = np.arange(state.trials)
+        state.rewards[rows, winners] += self._reward
+        state.stakes[rows, winners] += self._reward
+
+    def make_state(self, allocation: Allocation, trials: int) -> EnsembleState:
+        return self._initial_arrays(allocation, trials)
+
+    def step(self, state: EnsembleState, rng: np.random.Generator) -> None:
+        winners = self.sample_block_winners(state, rng)
+        self.credit_reward(state, winners)
+        state.round_index += 1

@@ -1,0 +1,262 @@
+"""The six additional incentive models discussed in Section 6.4.
+
+The paper sketches how its fairness lens applies to NEO, Algorand,
+EOS, Wave, Vixify and Filecoin.  This module turns each sketch into an
+executable model on the common :class:`IncentiveProtocol` interface so
+the same experiments and fairness checkers run on them:
+
+* :class:`NeoPoS` — rewards paid in a *separate* asset (NEO gas) that
+  does not change future staking power; dynamically identical to PoW,
+  so both fairness types hold long-run.
+* :class:`AlgorandPoS` — inflation-only rewards, no proposer reward:
+  incomes are deterministic and exactly proportional, i.e. (0, 0)-fair
+  every epoch.
+* :class:`EOSDelegatedPoS` — a delegate committee where each delegate
+  earns a *constant* proposer reward plus proportional inflation:
+  neither fairness type holds unless all stakes are equal.
+* :class:`WavePoS` / :class:`VixifyPoS` — proportional-lottery designs
+  equivalent to FSL-PoS/ML-PoS dynamics: expectationally fair, not
+  robustly fair for large rewards.
+* :class:`FilecoinStorage` — mining power mixes fixed storage with
+  compounding pledge stake; interpolates between PoW (all storage)
+  and ML-PoS (all stake).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    ensure_non_negative_float,
+    ensure_positive_float,
+    ensure_probability,
+)
+from ..core.miners import Allocation
+from .base import EnsembleState, IncentiveProtocol, StakeLotteryProtocol, sample_winners
+from .fsl_pos import FairSingleLotteryPoS
+from .pow import ProofOfWork
+
+__all__ = [
+    "NeoPoS",
+    "AlgorandPoS",
+    "EOSDelegatedPoS",
+    "WavePoS",
+    "VixifyPoS",
+    "FilecoinStorage",
+]
+
+
+class NeoPoS(ProofOfWork):
+    """NEO: PoS lottery paid in a separate, non-compounding asset.
+
+    Stakers win blocks proportionally to their NEO holdings, but the
+    reward (NEO gas) cannot be staked, so holdings never change —
+    exactly the PoW dynamics with stake shares in place of hash-power
+    shares.  Inherits the i.i.d. fast path of :class:`ProofOfWork`.
+    """
+
+    @property
+    def name(self) -> str:
+        return "NEO"
+
+
+class AlgorandPoS(IncentiveProtocol):
+    """Algorand: inflation-only incentives.
+
+    Every epoch distributes ``v`` proportionally to wallet balances and
+    pays no proposer reward, so each miner's income is the
+    deterministic quantity ``v * share`` and the reward fraction equals
+    the initial share in every outcome: (0, 0)-fairness.  (The paper
+    notes the flip side — no proposer subsidy may undermine consensus
+    participation.)
+
+    Parameters
+    ----------
+    inflation_reward:
+        Per-epoch inflation ``v``.
+    """
+
+    round_unit = "epoch"
+
+    def __init__(self, inflation_reward: float) -> None:
+        self._inflation_reward = ensure_positive_float(
+            "inflation_reward", inflation_reward
+        )
+
+    @property
+    def name(self) -> str:
+        return "Algorand"
+
+    @property
+    def reward_per_round(self) -> float:
+        return self._inflation_reward
+
+    def make_state(self, allocation: Allocation, trials: int) -> EnsembleState:
+        return self._initial_arrays(allocation, trials)
+
+    def step(self, state: EnsembleState, rng: np.random.Generator) -> None:
+        shares = state.stake_shares()
+        income = self._inflation_reward * shares
+        state.rewards += income
+        state.stakes += income
+        state.round_index += 1
+
+    def advance_many(
+        self, state: EnsembleState, rounds: int, rng: np.random.Generator
+    ) -> None:
+        """Deterministic dynamics allow an exact multi-epoch jump.
+
+        Shares are invariant (income is proportional), so ``rounds``
+        epochs simply issue ``rounds * v * share`` to each miner.
+        """
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        shares = state.stake_shares()
+        income = rounds * self._inflation_reward * shares
+        state.rewards += income
+        state.stakes += income
+        state.round_index += rounds
+
+
+class EOSDelegatedPoS(IncentiveProtocol):
+    """EOS: delegate committee with a flat proposer reward.
+
+    All miners are delegates who propose in turn: each epoch pays every
+    delegate a *constant* ``w / m`` proposer reward regardless of
+    stake, plus an inflation reward ``v * share``.  The flat component
+    over-rewards small delegates and under-rewards large ones, so
+    neither expectational nor robust fairness holds unless all stakes
+    are equal — the Section 6.4 verdict.
+
+    Parameters
+    ----------
+    proposer_reward:
+        Total flat proposer budget ``w`` per epoch (split equally).
+    inflation_reward:
+        Total proportional inflation ``v`` per epoch.
+    compound:
+        Whether rewards are added to stake (affects future inflation
+        splits).  Default true.
+    """
+
+    round_unit = "epoch"
+
+    def __init__(
+        self,
+        proposer_reward: float,
+        inflation_reward: float,
+        *,
+        compound: bool = True,
+    ) -> None:
+        self._proposer_reward = ensure_positive_float(
+            "proposer_reward", proposer_reward
+        )
+        self._inflation_reward = ensure_non_negative_float(
+            "inflation_reward", inflation_reward
+        )
+        self.compound = bool(compound)
+
+    @property
+    def name(self) -> str:
+        return "EOS"
+
+    @property
+    def reward_per_round(self) -> float:
+        return self._proposer_reward + self._inflation_reward
+
+    def make_state(self, allocation: Allocation, trials: int) -> EnsembleState:
+        return self._initial_arrays(allocation, trials)
+
+    def step(self, state: EnsembleState, rng: np.random.Generator) -> None:
+        shares = state.stake_shares()
+        flat = self._proposer_reward / state.miners
+        income = flat + self._inflation_reward * shares
+        state.rewards += income
+        if self.compound:
+            state.stakes += income
+        state.round_index += 1
+
+
+class WavePoS(FairSingleLotteryPoS):
+    """Wave (Begicheva & Kofman 2018): NXT with a corrected time function.
+
+    Wave repairs the SL-PoS deadline in the same spirit as the paper's
+    FSL-PoS treatment, yielding a proportional lottery on compounding
+    stakes — expectationally fair, not robustly fair for large ``w``.
+    Dynamically identical to :class:`FairSingleLotteryPoS`.
+    """
+
+    @property
+    def name(self) -> str:
+        return "Wave"
+
+
+class VixifyPoS(FairSingleLotteryPoS):
+    """Vixify (Orlicki 2020): VRF/VDF Nakamoto-style PoS.
+
+    Proposes blocks with probability proportional to stake and pays
+    only a compounding proposer reward — the ML-PoS/FSL-PoS fairness
+    profile (Section 6.4).
+    """
+
+    @property
+    def name(self) -> str:
+        return "Vixify"
+
+
+class FilecoinStorage(StakeLotteryProtocol):
+    """Filecoin-style Proof-of-Storage-and-Time incentives.
+
+    Mining power mixes a *fixed* storage contribution with a
+    *compounding* pledge-stake contribution:
+
+    ``power_i = theta * storage_i + (1 - theta) * stake_i``
+
+    (both normalised).  ``theta = 1`` reduces to PoW dynamics (fixed
+    resource), ``theta = 0`` to ML-PoS (pure compounding); intermediate
+    values damp the Polya-urn feedback, improving robust fairness —
+    quantified by the ablation benchmark.
+
+    Parameters
+    ----------
+    reward:
+        Block reward, credited to pledge stake.
+    storage_weight:
+        The mixing weight ``theta`` in [0, 1].
+    """
+
+    round_unit = "block"
+
+    def __init__(self, reward: float, storage_weight: float = 0.5) -> None:
+        super().__init__(reward)
+        self.storage_weight = ensure_probability("storage_weight", storage_weight)
+
+    @property
+    def name(self) -> str:
+        return "Filecoin"
+
+    def make_state(self, allocation: Allocation, trials: int) -> EnsembleState:
+        state = self._initial_arrays(allocation, trials)
+        # Storage shares are fixed at the initial allocation.
+        state.extra["storage"] = allocation.tiled(trials)
+        return state
+
+    def mining_power(self, state: EnsembleState) -> np.ndarray:
+        """Normalised mining power mixing storage and stake shares."""
+        stake_shares = state.stake_shares()
+        storage = state.extra["storage"]
+        storage_shares = storage / storage.sum(axis=1, keepdims=True)
+        power = (
+            self.storage_weight * storage_shares
+            + (1.0 - self.storage_weight) * stake_shares
+        )
+        return power / power.sum(axis=1, keepdims=True)
+
+    def win_probabilities(self, state: EnsembleState) -> np.ndarray:
+        """Per-trial proposer law: proportional to mixed mining power."""
+        return self.mining_power(state)
+
+    def sample_block_winners(
+        self, state: EnsembleState, rng: np.random.Generator
+    ) -> np.ndarray:
+        return sample_winners(self.mining_power(state), rng)

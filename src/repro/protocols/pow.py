@@ -1,0 +1,77 @@
+"""The Proof-of-Work incentive model (Section 2.1).
+
+Miners race to solve ``Hash(nonce, ...) < D``; per-miner solution
+times are exponential with rates proportional to hash power, so each
+block is won independently with probability ``H_i / sum(H)``
+(:func:`repro.theory.pow_win_probabilities`).  The block reward is paid
+in currency and does **not** change future hash power, so the
+proposer law never drifts — the property behind Theorems 3.2 and 4.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.miners import Allocation
+from .base import EnsembleState, StakeLotteryProtocol
+
+__all__ = ["ProofOfWork"]
+
+
+class ProofOfWork(StakeLotteryProtocol):
+    """PoW: i.i.d. proportional lottery on (fixed) hash power.
+
+    Parameters
+    ----------
+    reward:
+        Block reward ``w``.  PoW fairness is insensitive to ``w``
+        (Section 5.4.2) because rewards never feed back into hash
+        power, but the reward still scales incomes.
+
+    Notes
+    -----
+    ``state.stakes`` holds hash-power shares and stays constant; the
+    number of blocks won over any stretch is Binomial, so
+    :meth:`advance_many` jumps whole stretches with one multinomial
+    draw per trial instead of looping.
+    """
+
+    round_unit = "block"
+
+    @property
+    def name(self) -> str:
+        return "PoW"
+
+    def win_probabilities(self, state: EnsembleState) -> np.ndarray:
+        """Per-trial proposer law: proportional to fixed hash power."""
+        return state.stake_shares()
+
+    def sample_block_winners(
+        self, state: EnsembleState, rng: np.random.Generator
+    ) -> np.ndarray:
+        probabilities = self.win_probabilities(state)
+        cdf = np.cumsum(probabilities, axis=1)
+        cdf[:, -1] = 1.0
+        draws = rng.random(state.trials)
+        return (draws[:, None] > cdf).sum(axis=1)
+
+    def credit_reward(self, state: EnsembleState, winners: np.ndarray) -> None:
+        # Reward accrues as income only; hash power is unchanged.
+        rows = np.arange(state.trials)
+        state.rewards[rows, winners] += self.reward
+
+    def advance_many(
+        self, state: EnsembleState, rounds: int, rng: np.random.Generator
+    ) -> None:
+        """Jump ``rounds`` blocks at once.
+
+        The per-block winners are i.i.d., so the per-miner block counts
+        over the stretch are Multinomial(rounds, shares); one draw per
+        trial replaces ``rounds`` sequential lotteries.
+        """
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        shares = state.stake_shares()
+        counts = rng.multinomial(rounds, shares)
+        state.rewards += self.reward * counts
+        state.round_index += rounds

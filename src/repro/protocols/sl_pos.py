@@ -1,0 +1,61 @@
+"""The single-lottery Proof-of-Stake incentive model (Section 2.3).
+
+NXT-style staking: each miner gets *one* lottery ticket per block, a
+deadline ``time = basetime * Hash(pk, ...) / stake``; the earliest
+deadline proposes.  With a uniform hash the deadline is
+``U(0, basetime/stake)``, so the win probability of a miner below the
+maximum stake is *less* than proportional (Eq. 1, Lemma 6.1) — the
+protocol is unfair in expectation (Theorem 3.4) and monopolises almost
+surely (Theorem 4.9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import EnsembleState, StakeLotteryProtocol
+
+__all__ = ["SingleLotteryPoS"]
+
+
+class SingleLotteryPoS(StakeLotteryProtocol):
+    """SL-PoS: earliest-deadline lottery with uniform deadlines.
+
+    Parameters
+    ----------
+    reward:
+        Block reward ``w``, compounding into stakes.
+
+    Notes
+    -----
+    The winner is sampled *exactly* by drawing each miner's deadline
+    ``U_i / S_i`` with ``U_i ~ U(0, 1)`` and taking the arg-min — this
+    reproduces the Lemma 6.1 law for any miner count without computing
+    the law explicitly (ties occur with probability zero).  The
+    ``basetime`` constant cancels out of the comparison and is omitted.
+    """
+
+    round_unit = "block"
+
+    @property
+    def name(self) -> str:
+        return "SL-PoS"
+
+    def sample_block_winners(
+        self, state: EnsembleState, rng: np.random.Generator
+    ) -> np.ndarray:
+        uniforms = rng.random(state.stakes.shape)
+        deadlines = uniforms / state.stakes
+        return np.argmin(deadlines, axis=1)
+
+    def win_probabilities(self, state: EnsembleState) -> np.ndarray:
+        """Exact per-trial win law (Lemma 6.1).
+
+        Provided for analysis and tests; the simulator itself samples
+        deadlines directly.  Cost is O(miners^2) per distinct stake
+        row, so this is meant for small ensembles.
+        """
+        from ..theory.win_probability import sl_pos_win_probabilities
+
+        shares = state.stake_shares()
+        return np.apply_along_axis(sl_pos_win_probabilities, 1, shares)

@@ -1,0 +1,49 @@
+"""Vectorised Monte Carlo simulation of mining games.
+
+Submodules
+----------
+engine
+    :class:`MonteCarloEngine` / :func:`simulate` — the ensemble
+    simulator behind all numerical experiments.
+checkpoints
+    Linear and geometric recording schedules.
+events
+    Scheduled perturbations (top-up, withdrawal, outage) for
+    what-if studies and failure-injection tests.
+rng
+    Reproducible hierarchical random streams.
+"""
+
+from .checkpoints import (
+    geometric_checkpoints,
+    linear_checkpoints,
+    validate_checkpoints,
+)
+from .engine import MonteCarloEngine, simulate
+from .persistence import load_result, save_result
+from .events import (
+    GameEvent,
+    MinerOutage,
+    MinerRecovery,
+    StakeTopUp,
+    StakeWithdrawal,
+)
+from .rng import RandomSource, make_generator, spawn_generators
+
+__all__ = [
+    "MonteCarloEngine",
+    "simulate",
+    "save_result",
+    "load_result",
+    "linear_checkpoints",
+    "geometric_checkpoints",
+    "validate_checkpoints",
+    "GameEvent",
+    "StakeTopUp",
+    "StakeWithdrawal",
+    "MinerOutage",
+    "MinerRecovery",
+    "RandomSource",
+    "make_generator",
+    "spawn_generators",
+]

@@ -1,0 +1,72 @@
+"""Checkpoint schedules for trajectory recording.
+
+The paper's figures plot statistics of ``lambda_A`` at a modest number
+of block counts while the games themselves run for thousands of
+blocks.  Recording at every block would dominate memory, so the engine
+records at *checkpoints*.  Two stock schedules:
+
+* :func:`linear_checkpoints` — evenly spaced, matching the linear axes
+  of Figure 2.
+* :func:`geometric_checkpoints` — log-spaced, matching the log axes of
+  Figures 3-5 where early blocks matter most.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .._validation import ensure_positive_int
+
+__all__ = [
+    "linear_checkpoints",
+    "geometric_checkpoints",
+    "validate_checkpoints",
+]
+
+
+def linear_checkpoints(horizon: int, count: int = 50) -> List[int]:
+    """``count`` evenly spaced checkpoints ending exactly at ``horizon``."""
+    horizon = ensure_positive_int("horizon", horizon)
+    count = ensure_positive_int("count", count)
+    count = min(count, horizon)
+    raw = np.linspace(horizon / count, horizon, count)
+    checkpoints = sorted(set(int(round(x)) for x in raw))
+    if checkpoints[-1] != horizon:  # pragma: no cover - numeric guard
+        checkpoints[-1] = horizon
+    return [c for c in checkpoints if c >= 1]
+
+
+def geometric_checkpoints(horizon: int, count: int = 50, first: int = 1) -> List[int]:
+    """~``count`` log-spaced checkpoints from ``first`` to ``horizon``."""
+    horizon = ensure_positive_int("horizon", horizon)
+    count = ensure_positive_int("count", count)
+    first = ensure_positive_int("first", first)
+    if first > horizon:
+        raise ValueError("first checkpoint must not exceed the horizon")
+    raw = np.geomspace(first, horizon, count)
+    checkpoints = sorted(set(int(round(x)) for x in raw))
+    checkpoints[-1] = horizon
+    return sorted(set(checkpoints))
+
+
+def validate_checkpoints(checkpoints: Sequence[int], horizon: int) -> List[int]:
+    """Validate a user-provided checkpoint list against a horizon.
+
+    Checkpoints must be strictly increasing positive integers, the last
+    equal to ``horizon`` (appended automatically if missing).
+    """
+    horizon = ensure_positive_int("horizon", horizon)
+    result = [int(c) for c in checkpoints]
+    if not result:
+        raise ValueError("checkpoints must not be empty")
+    if any(c < 1 for c in result):
+        raise ValueError("checkpoints must be positive")
+    if any(b <= a for a, b in zip(result, result[1:])):
+        raise ValueError("checkpoints must be strictly increasing")
+    if result[-1] > horizon:
+        raise ValueError("checkpoints must not exceed the horizon")
+    if result[-1] != horizon:
+        result.append(horizon)
+    return result

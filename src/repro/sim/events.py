@@ -1,0 +1,135 @@
+"""Scheduled perturbations of a running mining game.
+
+Assumption 4 of the paper says miners take no action after the game
+starts; these events deliberately *break* that assumption so the
+library can study what happens when they do (withdrawal, top-up,
+temporary outage — the actions cited from [34, 39]).  They also serve
+as failure injection for the test suite: invariants such as stake
+positivity and reward conservation must survive arbitrary event
+schedules.
+
+An event fires once, after a given round completes.  The engine splits
+its advance loop at event rounds, so events compose with arbitrary
+checkpoint schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    ensure_non_negative_int,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+from ..protocols.base import EnsembleState
+
+__all__ = ["GameEvent", "StakeTopUp", "StakeWithdrawal", "MinerOutage", "MinerRecovery"]
+
+
+@dataclass(frozen=True)
+class GameEvent(abc.ABC):
+    """A one-shot perturbation applied after ``round_index`` rounds.
+
+    Attributes
+    ----------
+    round_index:
+        The event fires once the game has completed this many rounds
+        (0 fires before the first round).
+    miner:
+        Index of the affected miner.
+    """
+
+    round_index: int
+    miner: int
+
+    def __post_init__(self) -> None:
+        ensure_non_negative_int("round_index", self.round_index)
+        ensure_non_negative_int("miner", self.miner)
+
+    @abc.abstractmethod
+    def apply(self, state: EnsembleState) -> None:
+        """Mutate the ensemble state in place (all trials alike)."""
+
+    def _check_miner(self, state: EnsembleState) -> None:
+        if self.miner >= state.miners:
+            raise IndexError(
+                f"event targets miner {self.miner} but the game has "
+                f"{state.miners} miners"
+            )
+
+
+@dataclass(frozen=True)
+class StakeTopUp(GameEvent):
+    """Miner adds ``amount`` fresh resource (stake purchase / new rigs)."""
+
+    amount: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_positive_float("amount", self.amount)
+
+    def apply(self, state: EnsembleState) -> None:
+        self._check_miner(state)
+        state.stakes[:, self.miner] += self.amount
+
+
+@dataclass(frozen=True)
+class StakeWithdrawal(GameEvent):
+    """Miner withdraws a fraction of her current resource.
+
+    The withdrawal is proportional (per trial) so it is well-defined
+    even though trials hold different absolute stakes.
+    """
+
+    fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.fraction < 1.0:
+            raise ValueError(
+                f"fraction must be in the open interval (0, 1), got {self.fraction!r}"
+            )
+
+    def apply(self, state: EnsembleState) -> None:
+        self._check_miner(state)
+        state.stakes[:, self.miner] *= 1.0 - self.fraction
+
+
+@dataclass(frozen=True)
+class MinerOutage(GameEvent):
+    """Miner goes offline: her competing resource is parked at ~zero.
+
+    The parked amount is saved in ``state.extra`` so a matching
+    :class:`MinerRecovery` can restore it.  A tiny residual stake is
+    kept so share computations stay well-defined.
+    """
+
+    residual: float = 1e-12
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        ensure_positive_float("residual", self.residual)
+
+    def apply(self, state: EnsembleState) -> None:
+        self._check_miner(state)
+        key = f"outage_{self.miner}"
+        if key in state.extra:
+            raise RuntimeError(f"miner {self.miner} is already offline")
+        state.extra[key] = state.stakes[:, self.miner].copy()
+        state.stakes[:, self.miner] = self.residual
+
+
+@dataclass(frozen=True)
+class MinerRecovery(GameEvent):
+    """Miner comes back online, restoring the parked resource."""
+
+    def apply(self, state: EnsembleState) -> None:
+        self._check_miner(state)
+        key = f"outage_{self.miner}"
+        if key not in state.extra:
+            raise RuntimeError(f"miner {self.miner} is not offline")
+        state.stakes[:, self.miner] = state.extra.pop(key)

@@ -1,0 +1,81 @@
+"""Saving and loading ensemble results.
+
+Paper-scale runs take minutes; persisting their output lets the
+analysis and rendering layers iterate without re-simulating.  Results
+are stored as a single ``.npz`` archive: numeric arrays natively,
+metadata (protocol name, miner names, round unit) as a JSON string.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from ..core.miners import Allocation
+from ..core.results import EnsembleResult
+
+__all__ = ["save_result", "load_result"]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_result(result: EnsembleResult, path: PathLike) -> pathlib.Path:
+    """Write an :class:`EnsembleResult` to ``path`` (.npz appended if absent).
+
+    Returns the final path written.
+    """
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "protocol_name": result.protocol_name,
+        "round_unit": result.round_unit,
+        "miner_names": [m.name for m in result.allocation.miners],
+    }
+    arrays = {
+        "metadata": np.array(json.dumps(metadata)),
+        "shares": result.allocation.shares,
+        "checkpoints": result.checkpoints,
+        "reward_fractions": result.reward_fractions,
+    }
+    if result.terminal_stakes is not None:
+        arrays["terminal_stakes"] = result.terminal_stakes
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_result(path: PathLike) -> EnsembleResult:
+    """Read an :class:`EnsembleResult` written by :func:`save_result`."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["metadata"]))
+        if metadata.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result format version "
+                f"{metadata.get('format_version')!r}"
+            )
+        allocation = Allocation(
+            archive["shares"], names=metadata["miner_names"]
+        )
+        terminal = (
+            archive["terminal_stakes"]
+            if "terminal_stakes" in archive.files
+            else None
+        )
+        return EnsembleResult(
+            protocol_name=metadata["protocol_name"],
+            allocation=allocation,
+            checkpoints=archive["checkpoints"],
+            reward_fractions=archive["reward_fractions"],
+            terminal_stakes=terminal,
+            round_unit=metadata["round_unit"],
+        )

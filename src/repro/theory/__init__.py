@@ -1,0 +1,160 @@
+"""Analytical machinery of the paper: win laws, bounds, urns, SA.
+
+Submodules
+----------
+win_probability
+    Closed-form per-block win laws of Section 2 and Lemma 6.1.
+hoeffding
+    Hoeffding's inequality and the Theorem 4.2 sample bound.
+azuma
+    Azuma's inequality and the Doob-martingale bounds of
+    Theorems 4.3 / 4.10.
+bounds
+    Sufficient (epsilon, delta)-fairness conditions as calculators.
+polya
+    Polya-urn limit laws for ML-PoS and exact finite-``n`` PoW masses.
+stochastic_approximation
+    The SA framework proving SL-PoS monopolisation (Theorem 4.9).
+expectation
+    Closed-form expected-stake recursions (Theorems 3.3 / 3.5).
+"""
+
+from .azuma import (
+    azuma_tail,
+    azuma_two_sided,
+    c_pos_deviation_bound,
+    ml_pos_deviation_bound,
+    ml_pos_difference_bounds,
+)
+from .bounds import (
+    CPoSFairnessBound,
+    MLPoSFairnessBound,
+    PoWFairnessBound,
+    c_pos_is_sufficient,
+    c_pos_required_shards,
+    fairness_budget,
+    ml_pos_is_sufficient,
+    ml_pos_max_reward,
+    pow_required_blocks,
+)
+from .expectation import (
+    c_pos_expected_reward_fraction,
+    c_pos_expected_stake,
+    ml_pos_expected_reward_fraction,
+    ml_pos_expected_stake,
+    pow_expected_reward_fraction,
+    sl_pos_first_block_win_probability,
+    sl_pos_two_block_expected_share,
+)
+from .hoeffding import (
+    achievable_delta,
+    achievable_epsilon,
+    hoeffding_tail,
+    hoeffding_two_sided,
+    required_samples,
+)
+from .mean_field import (
+    blocks_from_log_time,
+    log_time_from_blocks,
+    mean_field_trajectory,
+    sl_pos_log_time,
+    sl_pos_mean_field_share,
+)
+from .polya import (
+    PolyaUrn,
+    ml_pos_block_count_pmf,
+    ml_pos_fair_probability,
+    ml_pos_limit_distribution,
+    ml_pos_limit_std,
+    pow_fair_probability,
+)
+from .stochastic_approximation import (
+    Stability,
+    StochasticApproximation,
+    classify_zero,
+    find_drift_zeros,
+    ml_pos_drift,
+    sl_pos_drift,
+    sl_pos_multi_miner_drift,
+    sl_pos_stochastic_approximation,
+    sl_pos_win_probability_from_share,
+    sl_pos_zero_report,
+)
+from .win_probability import (
+    c_pos_expected_reward_fractions,
+    fsl_pos_win_probabilities,
+    ml_pos_tie_probability,
+    ml_pos_win_probabilities,
+    ml_pos_win_probability_exact,
+    pow_win_probabilities,
+    sl_pos_win_probabilities,
+    sl_pos_win_probabilities_quadrature,
+    sl_pos_win_probability_two_miners,
+)
+
+__all__ = [
+    # win_probability
+    "pow_win_probabilities",
+    "ml_pos_win_probability_exact",
+    "ml_pos_tie_probability",
+    "ml_pos_win_probabilities",
+    "sl_pos_win_probability_two_miners",
+    "sl_pos_win_probabilities",
+    "sl_pos_win_probabilities_quadrature",
+    "fsl_pos_win_probabilities",
+    "c_pos_expected_reward_fractions",
+    # hoeffding
+    "hoeffding_tail",
+    "hoeffding_two_sided",
+    "required_samples",
+    "achievable_epsilon",
+    "achievable_delta",
+    # azuma
+    "azuma_tail",
+    "azuma_two_sided",
+    "ml_pos_difference_bounds",
+    "ml_pos_deviation_bound",
+    "c_pos_deviation_bound",
+    # bounds
+    "fairness_budget",
+    "PoWFairnessBound",
+    "MLPoSFairnessBound",
+    "CPoSFairnessBound",
+    "pow_required_blocks",
+    "ml_pos_is_sufficient",
+    "ml_pos_max_reward",
+    "c_pos_is_sufficient",
+    "c_pos_required_shards",
+    # mean field
+    "blocks_from_log_time",
+    "log_time_from_blocks",
+    "mean_field_trajectory",
+    "sl_pos_log_time",
+    "sl_pos_mean_field_share",
+    # polya
+    "PolyaUrn",
+    "ml_pos_limit_distribution",
+    "ml_pos_fair_probability",
+    "ml_pos_limit_std",
+    "pow_fair_probability",
+    "ml_pos_block_count_pmf",
+    # stochastic approximation
+    "Stability",
+    "StochasticApproximation",
+    "classify_zero",
+    "find_drift_zeros",
+    "ml_pos_drift",
+    "sl_pos_drift",
+    "sl_pos_multi_miner_drift",
+    "sl_pos_stochastic_approximation",
+    "sl_pos_win_probability_from_share",
+    "sl_pos_zero_report",
+    # expectation
+    "ml_pos_expected_stake",
+    "ml_pos_expected_reward_fraction",
+    "c_pos_expected_stake",
+    "c_pos_expected_reward_fraction",
+    "pow_expected_reward_fraction",
+    "sl_pos_first_block_win_probability",
+    "sl_pos_two_block_expected_share",
+]

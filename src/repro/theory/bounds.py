@@ -1,0 +1,261 @@
+"""Sufficient conditions for (epsilon, delta)-fairness (Theorems 4.2/4.3/4.10).
+
+Each theorem in Section 4 of the paper gives a *sufficient* (not
+necessary) condition under which a protocol preserves
+``(epsilon, delta)``-fairness for a miner with resource share ``a``:
+
+* **PoW** (Thm 4.2):      ``n >= ln(2/delta) / (2 a^2 eps^2)``
+* **ML-PoS** (Thm 4.3):   ``1/n + w <= 2 a^2 eps^2 / ln(2/delta)``
+* **C-PoS** (Thm 4.10):   ``w^2 (1/n + w + v) / ((w + v)^2 P)
+                              <= 2 a^2 eps^2 / ln(2/delta)``
+
+The C-PoS condition degenerates to the ML-PoS condition at ``v = 0,
+P = 1``, and the ML-PoS condition degenerates to the PoW condition as
+``w -> 0`` — both degenerations are verified in the test suite.
+
+This module exposes each condition as a small calculator object with a
+uniform interface (``is_sufficient``, ``required_blocks``, budgets for
+the free parameters), plus module-level convenience functions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import (
+    ensure_fraction,
+    ensure_non_negative_float,
+    ensure_positive_float,
+    ensure_positive_int,
+    ensure_epsilon_delta,
+)
+
+__all__ = [
+    "fairness_budget",
+    "PoWFairnessBound",
+    "MLPoSFairnessBound",
+    "CPoSFairnessBound",
+    "pow_required_blocks",
+    "ml_pos_is_sufficient",
+    "ml_pos_max_reward",
+    "c_pos_is_sufficient",
+    "c_pos_required_shards",
+]
+
+_INFINITE = float("inf")
+
+
+def fairness_budget(epsilon: float, delta: float, share: float) -> float:
+    """The right-hand side ``2 a^2 eps^2 / ln(2/delta)`` shared by all bounds.
+
+    Larger budgets are easier to satisfy: they grow with the miner's
+    share ``a``, with the tolerance ``epsilon``, and with the failure
+    probability ``delta``.
+    """
+    epsilon, delta = ensure_epsilon_delta(epsilon, delta)
+    if epsilon == 0.0:
+        return 0.0
+    if delta == 0.0:
+        return 0.0
+    if delta >= 1.0:
+        return _INFINITE
+    share = ensure_fraction("share", share)
+    return 2.0 * share * share * epsilon * epsilon / math.log(2.0 / delta)
+
+
+@dataclass(frozen=True)
+class PoWFairnessBound:
+    """Theorem 4.2 calculator for PoW.
+
+    Attributes
+    ----------
+    epsilon, delta:
+        Target fairness level of Definition 4.1.
+    share:
+        The miner's hash-power share ``a``.
+    """
+
+    epsilon: float
+    delta: float
+    share: float
+
+    def __post_init__(self) -> None:
+        eps, dlt = ensure_epsilon_delta(self.epsilon, self.delta)
+        object.__setattr__(self, "epsilon", eps)
+        object.__setattr__(self, "delta", dlt)
+        object.__setattr__(self, "share", ensure_fraction("share", self.share))
+
+    def required_blocks(self) -> float:
+        """Smallest sufficient block count (``inf`` if unattainable)."""
+        budget = fairness_budget(self.epsilon, self.delta, self.share)
+        if budget == 0.0:
+            return _INFINITE
+        return math.ceil(1.0 / budget)
+
+    def is_sufficient(self, n: int) -> bool:
+        """Whether ``n`` blocks satisfy the Theorem 4.2 condition."""
+        n = ensure_positive_int("n", n)
+        return n >= self.required_blocks()
+
+
+@dataclass(frozen=True)
+class MLPoSFairnessBound:
+    """Theorem 4.3 calculator for ML-PoS.
+
+    The condition couples the horizon ``n`` and the per-block reward
+    ``w`` (normalised against the initial stake circulation):
+    ``1/n + w <= budget``.  Notably, no horizon fixes an oversized
+    reward — if ``w > budget`` the condition fails for every ``n``,
+    matching the empirical plateaus in Figure 3(b)/5(a).
+    """
+
+    epsilon: float
+    delta: float
+    share: float
+
+    def __post_init__(self) -> None:
+        eps, dlt = ensure_epsilon_delta(self.epsilon, self.delta)
+        object.__setattr__(self, "epsilon", eps)
+        object.__setattr__(self, "delta", dlt)
+        object.__setattr__(self, "share", ensure_fraction("share", self.share))
+
+    @property
+    def budget(self) -> float:
+        return fairness_budget(self.epsilon, self.delta, self.share)
+
+    def is_sufficient(self, n: int, reward: float) -> bool:
+        """Whether ``(n, w)`` satisfy ``1/n + w <= budget``."""
+        n = ensure_positive_int("n", n)
+        reward = ensure_positive_float("reward", reward)
+        return 1.0 / n + reward <= self.budget
+
+    def required_blocks(self, reward: float) -> float:
+        """Smallest sufficient ``n`` for block reward ``w``.
+
+        Returns ``inf`` when ``w`` alone exceeds the budget, i.e. no
+        amount of patience certifies fairness.
+        """
+        reward = ensure_positive_float("reward", reward)
+        slack = self.budget - reward
+        if slack <= 0.0:
+            return _INFINITE
+        return math.ceil(1.0 / slack)
+
+    def max_reward(self, n: int) -> float:
+        """Largest block reward certified fair at horizon ``n`` (may be <= 0)."""
+        n = ensure_positive_int("n", n)
+        return self.budget - 1.0 / n
+
+
+@dataclass(frozen=True)
+class CPoSFairnessBound:
+    """Theorem 4.10 calculator for C-PoS.
+
+    The condition is
+    ``w^2 (1/n + w + v) / ((w + v)^2 P) <= budget``.
+    Increasing the inflation reward ``v`` or the shard count ``P``
+    relaxes it; at ``v = 0, P = 1`` it reduces exactly to Theorem 4.3.
+    """
+
+    epsilon: float
+    delta: float
+    share: float
+
+    def __post_init__(self) -> None:
+        eps, dlt = ensure_epsilon_delta(self.epsilon, self.delta)
+        object.__setattr__(self, "epsilon", eps)
+        object.__setattr__(self, "delta", dlt)
+        object.__setattr__(self, "share", ensure_fraction("share", self.share))
+
+    @property
+    def budget(self) -> float:
+        return fairness_budget(self.epsilon, self.delta, self.share)
+
+    @staticmethod
+    def lhs(n: int, shards: int, proposer_reward: float, inflation_reward: float) -> float:
+        """Left-hand side ``w^2 (1/n + w + v) / ((w + v)^2 P)``."""
+        n = ensure_positive_int("n", n)
+        shards = ensure_positive_int("shards", shards)
+        w = ensure_positive_float("proposer_reward", proposer_reward)
+        v = ensure_non_negative_float("inflation_reward", inflation_reward)
+        return w * w * (1.0 / n + w + v) / ((w + v) ** 2 * shards)
+
+    def is_sufficient(
+        self, n: int, shards: int, proposer_reward: float, inflation_reward: float
+    ) -> bool:
+        """Whether ``(n, P, w, v)`` satisfy the Theorem 4.10 condition."""
+        return self.lhs(n, shards, proposer_reward, inflation_reward) <= self.budget
+
+    def required_blocks(
+        self, shards: int, proposer_reward: float, inflation_reward: float
+    ) -> float:
+        """Smallest sufficient epoch count (``inf`` if unattainable)."""
+        shards = ensure_positive_int("shards", shards)
+        w = ensure_positive_float("proposer_reward", proposer_reward)
+        v = ensure_non_negative_float("inflation_reward", inflation_reward)
+        # Solve w^2 (1/n + w + v) / ((w+v)^2 P) <= budget for 1/n.
+        cap = self.budget * (w + v) ** 2 * shards / (w * w)
+        slack = cap - (w + v)
+        if slack <= 0.0:
+            return _INFINITE
+        return math.ceil(1.0 / slack)
+
+    def required_shards(
+        self, n: int, proposer_reward: float, inflation_reward: float
+    ) -> float:
+        """Smallest sufficient shard count ``P`` (``inf`` never occurs
+        since the LHS scales as ``1/P``)."""
+        n = ensure_positive_int("n", n)
+        w = ensure_positive_float("proposer_reward", proposer_reward)
+        v = ensure_non_negative_float("inflation_reward", inflation_reward)
+        if self.budget == 0.0:
+            return _INFINITE
+        numerator = w * w * (1.0 / n + w + v) / ((w + v) ** 2)
+        return max(1, math.ceil(numerator / self.budget))
+
+
+def pow_required_blocks(epsilon: float, delta: float, share: float) -> float:
+    """Convenience wrapper over :meth:`PoWFairnessBound.required_blocks`."""
+    return PoWFairnessBound(epsilon, delta, share).required_blocks()
+
+
+def ml_pos_is_sufficient(
+    epsilon: float, delta: float, share: float, n: int, reward: float
+) -> bool:
+    """Convenience wrapper over :meth:`MLPoSFairnessBound.is_sufficient`."""
+    return MLPoSFairnessBound(epsilon, delta, share).is_sufficient(n, reward)
+
+
+def ml_pos_max_reward(epsilon: float, delta: float, share: float, n: int) -> float:
+    """Convenience wrapper over :meth:`MLPoSFairnessBound.max_reward`."""
+    return MLPoSFairnessBound(epsilon, delta, share).max_reward(n)
+
+
+def c_pos_is_sufficient(
+    epsilon: float,
+    delta: float,
+    share: float,
+    n: int,
+    shards: int,
+    proposer_reward: float,
+    inflation_reward: float,
+) -> bool:
+    """Convenience wrapper over :meth:`CPoSFairnessBound.is_sufficient`."""
+    return CPoSFairnessBound(epsilon, delta, share).is_sufficient(
+        n, shards, proposer_reward, inflation_reward
+    )
+
+
+def c_pos_required_shards(
+    epsilon: float,
+    delta: float,
+    share: float,
+    n: int,
+    proposer_reward: float,
+    inflation_reward: float,
+) -> float:
+    """Convenience wrapper over :meth:`CPoSFairnessBound.required_shards`."""
+    return CPoSFairnessBound(epsilon, delta, share).required_shards(
+        n, proposer_reward, inflation_reward
+    )

@@ -1,0 +1,134 @@
+"""Closed-form expected-stake recursions (Theorems 3.3 / 3.5).
+
+The expectational-fairness proofs for ML-PoS and C-PoS both rest on a
+telescoping recursion for the expected stake of miner ``A``:
+
+* **ML-PoS** (Thm 3.3):  ``E[S_{i+1}] = (1 + w(i+1)) / (1 + w i) E[S_i]``
+  giving ``E[S_i] = a (1 + w i)`` and hence ``E[lambda_A] = a``.
+* **C-PoS** (Thm 3.5):   the same with ``w + v`` in place of ``w``.
+
+These closed forms are exported so the test suite and the examples can
+compare simulated means against exact expectations at every horizon,
+not only in the limit.
+
+The module also provides the *unfair* SL-PoS first-block expectation
+``E[X_1] = a / (2b)`` and the finite-horizon contradiction identity
+from the proof of Theorem 3.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    ensure_fraction,
+    ensure_non_negative_float,
+    ensure_non_negative_int,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+
+__all__ = [
+    "ml_pos_expected_stake",
+    "ml_pos_expected_reward_fraction",
+    "c_pos_expected_stake",
+    "c_pos_expected_reward_fraction",
+    "pow_expected_reward_fraction",
+    "sl_pos_first_block_win_probability",
+    "sl_pos_two_block_expected_share",
+]
+
+
+def ml_pos_expected_stake(share: float, reward: float, blocks) -> np.ndarray:
+    """``E[S_i] = a (1 + w i)`` for ML-PoS (proof of Theorem 3.3).
+
+    Parameters
+    ----------
+    share:
+        Initial share ``a``.
+    reward:
+        Block reward ``w``.
+    blocks:
+        Block index (or array of indices) ``i >= 0``.
+    """
+    share = ensure_fraction("share", share)
+    reward = ensure_positive_float("reward", reward)
+    blocks_arr = np.asarray(blocks, dtype=float)
+    if np.any(blocks_arr < 0):
+        raise ValueError("blocks must be non-negative")
+    result = share * (1.0 + reward * blocks_arr)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def ml_pos_expected_reward_fraction(share: float, reward: float, blocks: int) -> float:
+    """``E[lambda_A] = (E[S_n] - a) / (w n) = a`` for ML-PoS."""
+    share = ensure_fraction("share", share)
+    reward = ensure_positive_float("reward", reward)
+    blocks = ensure_positive_int("blocks", blocks)
+    expected_stake = ml_pos_expected_stake(share, reward, blocks)
+    return (expected_stake - share) / (reward * blocks)
+
+
+def c_pos_expected_stake(
+    share: float, proposer_reward: float, inflation_reward: float, epochs
+) -> np.ndarray:
+    """``E[S_i] = a (1 + (w + v) i)`` for C-PoS (proof of Theorem 3.5)."""
+    share = ensure_fraction("share", share)
+    proposer_reward = ensure_positive_float("proposer_reward", proposer_reward)
+    inflation_reward = ensure_non_negative_float("inflation_reward", inflation_reward)
+    epochs_arr = np.asarray(epochs, dtype=float)
+    if np.any(epochs_arr < 0):
+        raise ValueError("epochs must be non-negative")
+    total = proposer_reward + inflation_reward
+    result = share * (1.0 + total * epochs_arr)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def c_pos_expected_reward_fraction(
+    share: float, proposer_reward: float, inflation_reward: float, epochs: int
+) -> float:
+    """``E[lambda_A] = (E[S_n] - a) / ((w + v) n) = a`` for C-PoS."""
+    share = ensure_fraction("share", share)
+    epochs = ensure_positive_int("epochs", epochs)
+    total = proposer_reward + inflation_reward
+    expected_stake = c_pos_expected_stake(
+        share, proposer_reward, inflation_reward, epochs
+    )
+    return (expected_stake - share) / (total * epochs)
+
+
+def pow_expected_reward_fraction(share: float, blocks: int) -> float:
+    """``E[lambda_A] = a`` for PoW (Theorem 3.2): Binomial(n, a) mean over n."""
+    share = ensure_fraction("share", share)
+    ensure_positive_int("blocks", blocks)
+    return share
+
+
+def sl_pos_first_block_win_probability(share: float) -> float:
+    """``E[X_1] = a / (2 (1 - a))`` for SL-PoS when ``a <= 1/2`` (Thm 3.4).
+
+    Strictly below ``a`` unless ``a = 1/2`` — the first block is already
+    unfair in expectation.
+    """
+    share = ensure_fraction("share", share)
+    if share <= 0.5:
+        return share / (2.0 * (1.0 - share))
+    return 1.0 - (1.0 - share) / (2.0 * share)
+
+
+def sl_pos_two_block_expected_share(share: float, reward: float) -> float:
+    """Exact expected share of A after one SL-PoS block.
+
+    ``E[Z_1] = (a + w p) / (1 + w)`` with ``p`` the unfair first-block
+    win probability; used by tests to check the simulator's first-step
+    distribution and to demonstrate the Theorem 3.4 contradiction
+    (``E[Z_1] < a`` whenever ``a < 1/2``).
+    """
+    share = ensure_fraction("share", share)
+    reward = ensure_positive_float("reward", reward)
+    p = sl_pos_first_block_win_probability(share)
+    return (share + reward * p) / (1.0 + reward)

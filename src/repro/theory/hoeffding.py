@@ -1,0 +1,109 @@
+"""Hoeffding's inequality and its inverses (used in Theorem 4.2).
+
+For the PoW protocol, the per-block proposer indicators are i.i.d.
+Bernoulli(``a``), so Hoeffding's inequality bounds the deviation of the
+reward fraction ``lambda_A`` from ``a``:
+
+``Pr[|lambda_A - a| >= t] <= 2 exp(-2 n t^2)``.
+
+Setting ``t = epsilon * a`` gives the sufficient sample size of
+Theorem 4.2, ``n >= ln(2 / delta) / (2 a^2 epsilon^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import (
+    ensure_non_negative_float,
+    ensure_positive_float,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+__all__ = [
+    "hoeffding_tail",
+    "hoeffding_two_sided",
+    "required_samples",
+    "achievable_epsilon",
+    "achievable_delta",
+]
+
+
+def hoeffding_tail(n: int, t: float, *, low: float = 0.0, high: float = 1.0) -> float:
+    """One-sided Hoeffding tail for the mean of ``n`` bounded variables.
+
+    ``Pr[mean - E[mean] >= t] <= exp(-2 n t^2 / (high - low)^2)``.
+
+    Parameters
+    ----------
+    n:
+        Number of independent samples.
+    t:
+        Deviation threshold (non-negative).
+    low, high:
+        Almost-sure bounds on each variable.
+    """
+    n = ensure_positive_int("n", n)
+    t = ensure_non_negative_float("t", t)
+    width = ensure_positive_float("high - low", high - low)
+    return min(1.0, math.exp(-2.0 * n * t * t / (width * width)))
+
+
+def hoeffding_two_sided(n: int, t: float, *, low: float = 0.0, high: float = 1.0) -> float:
+    """Two-sided Hoeffding bound ``Pr[|mean - E[mean]| >= t]``."""
+    return min(1.0, 2.0 * hoeffding_tail(n, t, low=low, high=high))
+
+
+def required_samples(epsilon: float, delta: float, share: float) -> int:
+    """Sufficient PoW block count from Theorem 4.2.
+
+    Returns the smallest integer ``n`` with
+    ``n >= ln(2/delta) / (2 a^2 epsilon^2)`` so that PoW preserves
+    ``(epsilon, delta)``-fairness for a miner holding hash-power share
+    ``a``.
+
+    Parameters
+    ----------
+    epsilon:
+        Relative accuracy of Definition 4.1 (must be positive here; a
+        zero epsilon requires infinitely many blocks).
+    delta:
+        Failure probability in (0, 1).
+    share:
+        The miner's resource share ``a`` in (0, 1).
+    """
+    epsilon = ensure_positive_float("epsilon", epsilon)
+    delta = ensure_probability("delta", delta)
+    if delta == 0.0:
+        raise ValueError("delta must be positive for a finite sample bound")
+    share = ensure_positive_float("share", share)
+    if share >= 1.0:
+        raise ValueError("share must be below 1")
+    bound = math.log(2.0 / delta) / (2.0 * share * share * epsilon * epsilon)
+    return int(math.ceil(bound))
+
+
+def achievable_epsilon(n: int, delta: float, share: float) -> float:
+    """Smallest ``epsilon`` that Theorem 4.2 certifies after ``n`` blocks.
+
+    Inverts ``n >= ln(2/delta) / (2 a^2 eps^2)`` for ``epsilon``.
+    """
+    n = ensure_positive_int("n", n)
+    delta = ensure_probability("delta", delta)
+    if delta == 0.0:
+        raise ValueError("delta must be positive")
+    share = ensure_positive_float("share", share)
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n * share * share))
+
+
+def achievable_delta(n: int, epsilon: float, share: float) -> float:
+    """Smallest ``delta`` that Theorem 4.2 certifies after ``n`` blocks.
+
+    Directly evaluates the two-sided Hoeffding bound at
+    ``t = epsilon * a``.
+    """
+    n = ensure_positive_int("n", n)
+    epsilon = ensure_non_negative_float("epsilon", epsilon)
+    share = ensure_positive_float("share", share)
+    return min(1.0, 2.0 * math.exp(-2.0 * n * (epsilon * share) ** 2))

@@ -1,0 +1,185 @@
+"""Mean-field (fluid-limit) trajectories of the SL-PoS share process.
+
+The stochastic approximation of Theorem 4.9,
+
+``Z_{n+1} - Z_n = gamma_{n+1} (f(Z_n) + U_{n+1})``,  ``gamma_n = w / (1 + n w)``,
+
+has the associated ODE ``dz/dn = gamma_n f(z)``.  Substituting the
+log-time ``u = ln(1 + n w)`` (so ``du = gamma_n dn``) turns it into
+the autonomous flow ``dz/du = f(z)``, whose solution describes the
+*typical* (mean-field) trajectory of a miner's stake share — the
+deterministic skeleton around which the random trajectories of
+Figure 2(c)/Figure 4 fluctuate.
+
+For the two-miner drift (Eq. 2) the flow integrates in closed form on
+``z < 1/2``:
+
+``u(z1) - u(z0) = [-2 ln z + ln(1 - 2 z)]_{z0}^{z1}``
+
+— the basis of :func:`sl_pos_log_time`.  Because small-share events
+are amplified by the urn feedback, the *ensemble mean* decays slower
+than this typical path (lucky trials dominate the mean); the module
+therefore describes medians/modes, not means, and the tests check
+exactly that relationship.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from .._validation import ensure_fraction, ensure_positive_float
+from .stochastic_approximation import sl_pos_drift
+
+__all__ = [
+    "log_time",
+    "blocks_from_log_time",
+    "log_time_from_blocks",
+    "sl_pos_log_time",
+    "mean_field_trajectory",
+    "sl_pos_mean_field_share",
+]
+
+
+def log_time_from_blocks(blocks: float, reward: float) -> float:
+    """The SA log-time ``u(n) = sum_{i<=n} gamma_i ~= ln(1 + n w)``.
+
+    This is the accumulated step size after ``n`` blocks — the natural
+    clock of the flow ``dz/du = f(z)``.  Note it grows only
+    logarithmically in ``n``: stake dilution slows the game down, which
+    is why SL-PoS monopolisation takes so long in wall-clock blocks
+    (Figure 4's 10^5-block axes).
+    """
+    if blocks < 0:
+        raise ValueError("blocks must be non-negative")
+    reward = ensure_positive_float("reward", reward)
+    return math.log1p(blocks * reward)
+
+
+def blocks_from_log_time(u: float, reward: float) -> float:
+    """Invert :func:`log_time_from_blocks`: ``n = (e^u - 1) / w``.
+
+    Exponential in ``u`` — each unit of drift progress costs
+    geometrically more blocks.
+    """
+    if u < 0:
+        raise ValueError("log-time must be non-negative")
+    reward = ensure_positive_float("reward", reward)
+    return math.expm1(u) / reward
+
+
+#: Back-compat alias used in doc examples.
+log_time = log_time_from_blocks
+
+
+def sl_pos_log_time(share_from: float, share_to: float) -> float:
+    """Log-time for the SL-PoS mean-field flow to fall from one share
+    to a lower one (both below one half).
+
+    Closed form from ``dz/du = z (2z - 1) / (2 (1 - z))``:
+
+    ``u = [-2 ln z + ln(1 - 2 z)]`` evaluated between the endpoints.
+
+    Diverges as ``share_to -> 0`` — absorption takes infinite log-time
+    (and doubly-exponentially many blocks), matching the long tails of
+    Figure 4.
+    """
+    share_from = ensure_fraction("share_from", share_from)
+    share_to = ensure_fraction("share_to", share_to)
+    if not share_to < share_from < 0.5:
+        raise ValueError(
+            "expected share_to < share_from < 0.5 (the decaying branch)"
+        )
+
+    def antiderivative(z: float) -> float:
+        return -2.0 * math.log(z) + math.log(1.0 - 2.0 * z)
+
+    return antiderivative(share_to) - antiderivative(share_from)
+
+
+def mean_field_trajectory(
+    drift: Callable[[float], float],
+    initial: float,
+    log_times: np.ndarray,
+    *,
+    max_step: float = 0.01,
+) -> np.ndarray:
+    """Integrate ``dz/du = f(z)`` from ``initial`` over ``log_times``.
+
+    Plain RK4 with a capped step; adequate because the drift is smooth
+    and bounded on [0, 1].
+
+    Parameters
+    ----------
+    drift:
+        The drift field ``f``.
+    initial:
+        Starting share ``z(0)``.
+    log_times:
+        Increasing, non-negative log-time grid (``u`` values).
+    max_step:
+        Upper bound on the RK4 step size.
+
+    Returns
+    -------
+    numpy.ndarray of shares at each requested log-time.
+    """
+    initial = ensure_fraction("initial", initial)
+    max_step = ensure_positive_float("max_step", max_step)
+    grid = np.asarray(log_times, dtype=float)
+    if grid.ndim != 1 or grid.size == 0:
+        raise ValueError("log_times must be a non-empty 1-D array")
+    if grid[0] < 0 or np.any(np.diff(grid) <= 0):
+        raise ValueError("log_times must be non-negative and increasing")
+
+    def rk4_step(z: float, h: float) -> float:
+        k1 = drift(z)
+        k2 = drift(min(1.0, max(0.0, z + 0.5 * h * k1)))
+        k3 = drift(min(1.0, max(0.0, z + 0.5 * h * k2)))
+        k4 = drift(min(1.0, max(0.0, z + h * k3)))
+        return min(1.0, max(0.0, z + h / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4)))
+
+    results = np.empty_like(grid)
+    z = initial
+    u = 0.0
+    for index, target in enumerate(grid):
+        remaining = target - u
+        while remaining > 1e-12:
+            h = min(max_step, remaining)
+            z = rk4_step(z, h)
+            remaining -= h
+        u = target
+        results[index] = z
+    return results
+
+
+def sl_pos_mean_field_share(share: float, reward: float, blocks) -> np.ndarray:
+    """Typical SL-PoS stake share of miner A after ``blocks`` blocks.
+
+    Integrates the two-miner drift along the mean-field flow.  This is
+    the deterministic skeleton of Figure 2(c): shares below one half
+    slide towards zero, above one half towards one.
+    """
+    share = ensure_fraction("share", share)
+    reward = ensure_positive_float("reward", reward)
+    blocks_arr = np.atleast_1d(np.asarray(blocks, dtype=float))
+    if np.any(blocks_arr < 0):
+        raise ValueError("blocks must be non-negative")
+    order = np.argsort(blocks_arr)
+    sorted_u = np.array(
+        [log_time_from_blocks(b, reward) for b in blocks_arr[order]]
+    )
+    # Integrate once over the sorted grid, then unsort.
+    positive = sorted_u > 0
+    values = np.full_like(sorted_u, share)
+    if np.any(positive):
+        values[positive] = mean_field_trajectory(
+            lambda z: float(sl_pos_drift(z)), share, sorted_u[positive]
+        )
+    unsorted = np.empty_like(values)
+    unsorted[order] = values
+    if np.isscalar(blocks) or np.asarray(blocks).ndim == 0:
+        return float(unsorted[0])
+    return unsorted

@@ -1,0 +1,259 @@
+"""Closed-form next-block win probabilities from Section 2 of the paper.
+
+Each incentive protocol induces a lottery over miners for every block
+(or epoch).  This module provides the exact laws derived in the paper:
+
+* :func:`pow_win_probabilities` — the Poisson/exponential race of
+  Section 2.1, ``Pr[i wins] = H_i / sum(H)``.
+* :func:`ml_pos_win_probability_exact` — the geometric race with
+  tie-break of Section 2.2 for two miners, and its proportional
+  approximation :func:`ml_pos_win_probabilities`.
+* :func:`sl_pos_win_probability_two_miners` — Equation (1),
+  ``Pr[A wins] ~= S_A / (2 S_B)`` for ``S_A <= S_B``.
+* :func:`sl_pos_win_probabilities` — the multi-miner law of Lemma 6.1,
+  evaluated exactly through polynomial expansion of the integrand.
+* :func:`c_pos_expected_reward_fractions` — the expected split of one
+  C-PoS epoch reward between proposer and inflation components.
+
+These closed forms serve three purposes: they parameterise the fast
+Monte Carlo dynamics, they provide ground truth for statistical tests
+of the simulators, and they define the drift fields studied with
+stochastic approximation in Section 4.4.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import (
+    as_sequence_of_floats,
+    ensure_positive_float,
+    ensure_positive_int,
+)
+
+__all__ = [
+    "pow_win_probabilities",
+    "ml_pos_win_probability_exact",
+    "ml_pos_tie_probability",
+    "ml_pos_win_probabilities",
+    "sl_pos_win_probability_two_miners",
+    "sl_pos_win_probabilities",
+    "sl_pos_win_probabilities_quadrature",
+    "fsl_pos_win_probabilities",
+    "c_pos_expected_reward_fractions",
+]
+
+
+def _positive_resources(name: str, resources: Sequence[float]) -> np.ndarray:
+    array = as_sequence_of_floats(name, resources)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if array.size < 2:
+        raise ValueError(f"{name} needs at least two miners, got {array.size}")
+    if np.any(array <= 0.0):
+        raise ValueError(f"{name} must contain strictly positive values")
+    return array
+
+
+def pow_win_probabilities(hash_powers: Sequence[float]) -> np.ndarray:
+    """Win probabilities of the PoW exponential race (Section 2.1).
+
+    Miner ``i`` finds blocks as a Poisson process with rate proportional
+    to her hash power ``H_i``; the first arrival wins, so
+
+    ``Pr[i wins] = H_i / (H_1 + ... + H_m)``.
+
+    Parameters
+    ----------
+    hash_powers:
+        Positive per-miner hash powers (any scale; only ratios matter).
+
+    Returns
+    -------
+    numpy.ndarray
+        Probabilities summing to one.
+    """
+    powers = _positive_resources("hash_powers", hash_powers)
+    return powers / powers.sum()
+
+
+def ml_pos_win_probability_exact(p_a: float, p_b: float) -> float:
+    """Exact two-miner ML-PoS win probability (Section 2.2).
+
+    Miners ``A`` and ``B`` test one timestamp per tick; each trial
+    succeeds with probability ``p_a`` (resp. ``p_b``).  The miner with
+    the earlier first success wins; simultaneous successes are broken
+    by a fair coin.  The paper derives
+
+    ``Pr[A wins] = (p_a - p_a p_b / 2) / (p_a + p_b - p_a p_b)``.
+    """
+    p_a = ensure_positive_float("p_a", p_a)
+    p_b = ensure_positive_float("p_b", p_b)
+    if p_a > 1.0 or p_b > 1.0:
+        raise ValueError("per-timestamp success probabilities must be <= 1")
+    return (p_a - p_a * p_b / 2.0) / (p_a + p_b - p_a * p_b)
+
+
+def ml_pos_tie_probability(p_a: float, p_b: float) -> float:
+    """Probability that both ML-PoS miners succeed at the same timestamp.
+
+    ``Pr[T_A = T_B] = p_a p_b / (p_a + p_b - p_a p_b)`` (Section 2.2).
+    """
+    p_a = ensure_positive_float("p_a", p_a)
+    p_b = ensure_positive_float("p_b", p_b)
+    if p_a > 1.0 or p_b > 1.0:
+        raise ValueError("per-timestamp success probabilities must be <= 1")
+    return (p_a * p_b) / (p_a + p_b - p_a * p_b)
+
+
+def ml_pos_win_probabilities(stakes: Sequence[float]) -> np.ndarray:
+    """Proportional ML-PoS win law (Section 2.2, small-``p`` limit).
+
+    With per-timestamp success probabilities far below one (block
+    intervals of 5-10 minutes imply ``p ~ 1/1200``), the geometric race
+    converges to the proportional lottery
+
+    ``Pr[i wins] = S_i / sum(S)``.
+    """
+    stakes = _positive_resources("stakes", stakes)
+    return stakes / stakes.sum()
+
+
+def sl_pos_win_probability_two_miners(stake_a: float, stake_b: float) -> float:
+    """Exact two-miner SL-PoS win probability for miner ``A`` (Eq. 1).
+
+    Under the single-lottery deadline ``T = basetime * Hash / stake``
+    with a uniform hash, the paper shows (continuous limit)
+
+    ``Pr[A wins] = S_A / (2 S_B)``        when ``S_A <= S_B``,
+    ``Pr[A wins] = 1 - S_B / (2 S_A)``    when ``S_A >  S_B``.
+
+    The two branches agree at ``S_A = S_B`` where the probability is
+    one half.  The discrete 2^256 correction in Eq. (1) is below 1e-77
+    and is ignored.
+    """
+    stake_a = ensure_positive_float("stake_a", stake_a)
+    stake_b = ensure_positive_float("stake_b", stake_b)
+    if stake_a <= stake_b:
+        return stake_a / (2.0 * stake_b)
+    return 1.0 - stake_b / (2.0 * stake_a)
+
+
+def _product_polynomial(roots_scale: np.ndarray) -> np.ndarray:
+    """Coefficients (ascending) of ``prod_j (1 - s_j z)``.
+
+    Computed by iterated convolution; exact up to float rounding for
+    the miner counts considered here (tens of miners).
+    """
+    coeffs = np.array([1.0])
+    for s in roots_scale:
+        coeffs = np.convolve(coeffs, np.array([1.0, -s]))
+    return coeffs
+
+
+def sl_pos_win_probabilities(stakes: Sequence[float]) -> np.ndarray:
+    """Exact multi-miner SL-PoS win law (Lemma 6.1).
+
+    Miner ``i`` draws deadline ``Z_i ~ U(0, 1/S_i)`` (uniform hash
+    divided by stake); the smallest deadline wins.  Conditioning on
+    ``Z_i = z`` yields
+
+    ``Pr[i wins] = integral_0^{1/S_max} S_i * prod_{j != i} (1 - S_j z) dz``
+
+    where ``S_max`` is the largest stake overall (the integrand
+    vanishes beyond ``1/S_max``).  The integrand is a polynomial in
+    ``z``, so the integral is evaluated exactly via term-wise
+    antiderivatives rather than numeric quadrature.
+
+    Notes
+    -----
+    Unlike PoW/ML-PoS, these probabilities are *not* proportional to
+    stakes: every miner below the maximum stake is under-rewarded
+    (Lemma 6.1), which is the root cause of SL-PoS unfairness.
+
+    Returns
+    -------
+    numpy.ndarray
+        Win probabilities summing to one.
+    """
+    stakes = _positive_resources("stakes", stakes)
+    # Only stake ratios matter; normalise for numeric stability.
+    shares = stakes / stakes.sum()
+    upper = 1.0 / shares.max()
+    probabilities = np.empty_like(shares)
+    for i, share in enumerate(shares):
+        others = np.delete(shares, i)
+        coeffs = _product_polynomial(others)
+        # integral_0^upper share * sum_k c_k z^k dz
+        powers = np.arange(coeffs.size, dtype=float) + 1.0
+        integral = float(np.sum(coeffs * upper**powers / powers))
+        probabilities[i] = share * integral
+    # Ties happen with probability zero in the continuous limit, so the
+    # total mass must be one; renormalise away float rounding only.
+    total = probabilities.sum()
+    if not 0.999 <= total <= 1.001:  # pragma: no cover - numeric guard
+        raise ArithmeticError(f"SL-PoS win law lost mass: total={total!r}")
+    return probabilities / total
+
+
+def sl_pos_win_probabilities_quadrature(
+    stakes: Sequence[float], *, points: int = 20001
+) -> np.ndarray:
+    """Lemma 6.1 win law via composite Simpson quadrature.
+
+    A slower, independent evaluation of
+    :func:`sl_pos_win_probabilities`; used to cross-check the exact
+    polynomial expansion in tests.
+    """
+    from scipy.integrate import simpson
+
+    stakes = _positive_resources("stakes", stakes)
+    points = ensure_positive_int("points", points)
+    shares = stakes / stakes.sum()
+    upper = 1.0 / shares.max()
+    grid = np.linspace(0.0, upper, points)
+    probabilities = np.empty_like(shares)
+    for i, share in enumerate(shares):
+        others = np.delete(shares, i)
+        integrand = share * np.prod(
+            np.clip(1.0 - np.outer(others, grid), 0.0, None), axis=0
+        )
+        probabilities[i] = float(simpson(integrand, x=grid))
+    return probabilities / probabilities.sum()
+
+
+def fsl_pos_win_probabilities(stakes: Sequence[float]) -> np.ndarray:
+    """Win law of the FSL-PoS treatment (Section 6.2).
+
+    The corrected deadline ``T_i = -ln(1 - U_i) / S_i`` is exponential
+    with rate ``S_i``; the minimum of independent exponentials makes
+    the win probability exactly proportional,
+
+    ``Pr[i wins] = S_i / sum(S)``.
+    """
+    stakes = _positive_resources("stakes", stakes)
+    return stakes / stakes.sum()
+
+
+def c_pos_expected_reward_fractions(
+    stakes: Sequence[float], proposer_reward: float, inflation_reward: float
+) -> np.ndarray:
+    """Expected fraction of one C-PoS epoch reward per miner (Sec. 2.4).
+
+    In an epoch, miner ``i`` with share ``s_i`` expects
+    ``v * s_i`` inflation (attester) reward plus ``w * s_i`` proposer
+    reward (``X ~ Bin(P, s_i)`` blocks, each worth ``w/P``); the total
+    epoch issuance is ``w + v``, so the expected fraction is ``s_i``
+    regardless of the reward split — the content of Theorem 3.5.
+
+    Returns the expected per-miner fractions of the epoch reward.
+    """
+    stakes = _positive_resources("stakes", stakes)
+    ensure_positive_float("proposer_reward + inflation_reward",
+                          proposer_reward + inflation_reward)
+    if proposer_reward < 0 or inflation_reward < 0:
+        raise ValueError("rewards must be non-negative")
+    shares = stakes / stakes.sum()
+    return shares.copy()

@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.attack_risk."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attack_risk import (
+    majority_risk,
+    majority_risk_series,
+    stake_share_series,
+)
+from repro.core.miners import Allocation
+from repro.protocols import MultiLotteryPoS, SingleLotteryPoS
+from repro.sim.engine import simulate
+
+
+class TestStakeReconstruction:
+    def test_matches_recorded_terminal_stakes(self):
+        allocation = Allocation.focal_vs_equal(0.25, 4)
+        reward = 0.02
+        result = simulate(
+            MultiLotteryPoS(reward), allocation, 300, trials=50, seed=1
+        )
+        reconstructed = stake_share_series(result, reward)[:, -1, :]
+        np.testing.assert_allclose(
+            reconstructed, result.terminal_stake_shares(), atol=1e-9
+        )
+
+    def test_shares_normalised(self):
+        allocation = Allocation.uniform(4)
+        result = simulate(
+            SingleLotteryPoS(0.05), allocation, 200, trials=20, seed=2
+        )
+        shares = stake_share_series(result, 0.05)
+        np.testing.assert_allclose(shares.sum(axis=2), 1.0)
+
+    def test_rejects_bad_reward(self):
+        allocation = Allocation.uniform(3)
+        result = simulate(
+            MultiLotteryPoS(0.01), allocation, 50, trials=10, seed=3
+        )
+        with pytest.raises(ValueError):
+            stake_share_series(result, 0.0)
+
+
+class TestMajorityRisk:
+    def test_sl_pos_risk_grows(self):
+        # Four equal miners under SL-PoS: somebody eventually crosses
+        # 50% in a growing fraction of trials.
+        allocation = Allocation.uniform(4)
+        result = simulate(
+            SingleLotteryPoS(0.1), allocation, 4000,
+            trials=400, checkpoints=[100, 1000, 4000], seed=4,
+        )
+        series = majority_risk_series(result, 0.1)
+        assert series[0] < series[-1]
+        assert series[-1] > 0.5
+
+    def test_ml_pos_risk_lower_than_sl_pos(self):
+        allocation = Allocation.uniform(4)
+        kwargs = dict(trials=400, checkpoints=[2000], seed=5)
+        ml = simulate(MultiLotteryPoS(0.1), allocation, 2000, **kwargs)
+        sl = simulate(SingleLotteryPoS(0.1), allocation, 2000, **kwargs)
+        assert majority_risk(ml, 0.1) < majority_risk(sl, 0.1)
+
+    def test_threshold_validation(self):
+        allocation = Allocation.uniform(3)
+        result = simulate(
+            MultiLotteryPoS(0.01), allocation, 50, trials=10, seed=6
+        )
+        with pytest.raises(ValueError):
+            majority_risk(result, 0.01, threshold=1.0)
+
+    def test_initially_dominant_allocation(self):
+        # B starts above 50%: risk is 1 from the first checkpoint.
+        allocation = Allocation.two_miners(0.2)
+        result = simulate(
+            MultiLotteryPoS(0.01), allocation, 50, trials=10, seed=7
+        )
+        series = majority_risk_series(result, 0.01)
+        np.testing.assert_allclose(series, 1.0)

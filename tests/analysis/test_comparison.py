@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.comparison."""
+
+import pytest
+
+from repro.analysis.comparison import compare_protocols
+from repro.core.miners import Allocation
+from repro.protocols import (
+    CompoundPoS,
+    MultiLotteryPoS,
+    ProofOfWork,
+    SingleLotteryPoS,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_protocols(
+        [
+            ProofOfWork(0.01),
+            MultiLotteryPoS(0.01),
+            SingleLotteryPoS(0.01),
+            CompoundPoS(0.01, 0.1, 32),
+        ],
+        Allocation.two_miners(0.2),
+        horizon=2000,
+        trials=600,
+        seed=8,
+    )
+
+
+class TestCompareProtocols:
+    def test_one_row_per_protocol(self, comparison):
+        assert {row.protocol for row in comparison.rows} == {
+            "PoW", "ML-PoS", "SL-PoS", "C-PoS",
+        }
+
+    def test_paper_ranking(self, comparison):
+        ranked = [row.protocol for row in comparison.ranked()]
+        # SL-PoS must rank last; PoW and C-PoS ahead of ML-PoS.
+        assert ranked[-1] == "SL-PoS"
+        assert ranked.index("PoW") < ranked.index("ML-PoS")
+        assert ranked.index("C-PoS") < ranked.index("ML-PoS")
+
+    def test_sl_pos_biased(self, comparison):
+        row = next(r for r in comparison.rows if r.protocol == "SL-PoS")
+        assert row.bias < -0.05
+        assert row.unfair_probability > 0.9
+
+    def test_pow_metrics(self, comparison):
+        row = next(r for r in comparison.rows if r.protocol == "PoW")
+        assert row.bias == pytest.approx(0.0, abs=0.01)
+        assert row.equitability > 0.95
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "Protocol comparison" in text
+        assert "SL-PoS" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compare_protocols([], Allocation.two_miners(0.2), 100)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            compare_protocols(
+                [ProofOfWork(0.01), ProofOfWork(0.02)],
+                Allocation.two_miners(0.2),
+                100,
+            )

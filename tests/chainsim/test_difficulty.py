@@ -1,0 +1,62 @@
+"""Tests for repro.chainsim.difficulty."""
+
+import pytest
+
+from repro.chainsim.difficulty import DifficultyAdjuster
+
+
+class TestRetargeting:
+    def test_no_retarget_within_window(self):
+        adjuster = DifficultyAdjuster(100.0, target_interval=10.0, window=5)
+        for t in (10.0, 20.0, 30.0, 40.0):
+            assert not adjuster.observe_block(t)
+        assert adjuster.difficulty == 100.0
+
+    def test_on_target_no_change(self):
+        adjuster = DifficultyAdjuster(100.0, target_interval=10.0, window=5)
+        for t in (10.0, 20.0, 30.0, 40.0, 50.0):
+            adjuster.observe_block(t)
+        assert adjuster.difficulty == pytest.approx(100.0)
+        assert adjuster.retarget_count == 1
+
+    def test_slow_blocks_raise_difficulty(self):
+        # Blocks twice as slow as target: D doubles (easier lottery in
+        # the paper's Hash < D convention).
+        adjuster = DifficultyAdjuster(100.0, target_interval=10.0, window=5)
+        for i in range(1, 6):
+            adjuster.observe_block(20.0 * i)
+        assert adjuster.difficulty == pytest.approx(200.0)
+
+    def test_fast_blocks_lower_difficulty(self):
+        adjuster = DifficultyAdjuster(100.0, target_interval=10.0, window=5)
+        for i in range(1, 6):
+            adjuster.observe_block(5.0 * i)
+        assert adjuster.difficulty == pytest.approx(50.0)
+
+    def test_adjustment_clamped(self):
+        adjuster = DifficultyAdjuster(
+            100.0, target_interval=10.0, window=5, max_adjustment=4.0
+        )
+        for i in range(1, 6):
+            adjuster.observe_block(1000.0 * i)  # 100x too slow
+        assert adjuster.difficulty == pytest.approx(400.0)
+
+    def test_consecutive_windows(self):
+        adjuster = DifficultyAdjuster(100.0, target_interval=10.0, window=2)
+        adjuster.observe_block(20.0)
+        adjuster.observe_block(40.0)  # window 1: 20/block -> D*2
+        assert adjuster.difficulty == pytest.approx(200.0)
+        adjuster.observe_block(45.0)
+        adjuster.observe_block(50.0)  # window 2: 5/block -> D/2
+        assert adjuster.difficulty == pytest.approx(100.0)
+        assert adjuster.retarget_count == 2
+
+
+class TestValidation:
+    def test_rejects_non_positive_difficulty(self):
+        with pytest.raises(ValueError):
+            DifficultyAdjuster(0.0, 10.0)
+
+    def test_rejects_max_adjustment_below_one(self):
+        with pytest.raises(ValueError):
+            DifficultyAdjuster(100.0, 10.0, max_adjustment=0.5)

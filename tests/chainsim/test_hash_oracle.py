@@ -1,0 +1,87 @@
+"""Tests for repro.chainsim.hash_oracle."""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.hash_oracle import HASH_SPACE, HashOracle
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self):
+        oracle = HashOracle(1)
+        assert oracle.digest("pk", 5) == oracle.digest("pk", 5)
+
+    def test_different_seeds_differ(self):
+        assert HashOracle(1).digest("pk", 5) != HashOracle(2).digest("pk", 5)
+
+    def test_different_fields_differ(self):
+        oracle = HashOracle(1)
+        assert oracle.digest("pk", 5) != oracle.digest("pk", 6)
+
+    def test_no_boundary_ambiguity(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        oracle = HashOracle(1)
+        assert oracle.digest("ab", "c") != oracle.digest("a", "bc")
+
+    def test_type_tagging(self):
+        oracle = HashOracle(1)
+        assert oracle.digest(1) != oracle.digest("1")
+        assert oracle.digest(1) != oracle.digest(1.0)
+
+
+class TestRange:
+    def test_digest_in_range(self):
+        oracle = HashOracle(3)
+        for i in range(100):
+            assert 0 <= oracle.digest("x", i) < HASH_SPACE
+
+    def test_fraction_in_unit_interval(self):
+        oracle = HashOracle(3)
+        values = [oracle.fraction("y", i) for i in range(1000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+
+    def test_below(self):
+        oracle = HashOracle(3)
+        assert oracle.below(HASH_SPACE, "z", 1)
+        assert not oracle.below(0, "z", 1)
+        with pytest.raises(ValueError):
+            oracle.below(-1, "z")
+
+
+class TestUniformity:
+    def test_fraction_mean_and_spread(self):
+        oracle = HashOracle(7)
+        values = np.array([oracle.fraction("u", i) for i in range(20_000)])
+        assert values.mean() == pytest.approx(0.5, abs=0.01)
+        assert values.std() == pytest.approx(np.sqrt(1 / 12), abs=0.01)
+
+    def test_fraction_uniform_ks(self):
+        from scipy import stats
+
+        oracle = HashOracle(11)
+        values = [oracle.fraction("k", i) for i in range(5000)]
+        _, p_value = stats.kstest(values, "uniform")
+        assert p_value > 0.001
+
+    def test_bit_balance(self):
+        # The top bit of the digest should be ~50/50.
+        oracle = HashOracle(13)
+        bits = [oracle.digest("b", i) >> 255 for i in range(10_000)]
+        assert np.mean(bits) == pytest.approx(0.5, abs=0.02)
+
+
+class TestValidation:
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            HashOracle("seed")
+
+    def test_rejects_unsupported_field(self):
+        with pytest.raises(TypeError):
+            HashOracle(1).digest(["list"])
+
+    def test_negative_seed_ok(self):
+        assert 0 <= HashOracle(-5).digest("x") < HASH_SPACE
+
+    def test_bytes_field(self):
+        oracle = HashOracle(1)
+        assert oracle.digest(b"raw") != oracle.digest("raw")

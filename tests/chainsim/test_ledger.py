@@ -1,0 +1,224 @@
+"""Tests for the ledger stack: transactions, mempool, blocks, chain."""
+
+import pytest
+
+from repro.chainsim.block import GENESIS_PARENT, Block
+from repro.chainsim.chain import Blockchain, InvalidBlockError
+from repro.chainsim.mempool import Mempool
+from repro.chainsim.transactions import Transaction
+
+
+class TestTransaction:
+    def test_valid(self):
+        tx = Transaction("a", "b", amount=1.0, fee=0.1, nonce=0)
+        assert tx.total_debit == pytest.approx(1.1)
+
+    def test_rejects_self_transfer(self):
+        with pytest.raises(ValueError):
+            Transaction("a", "a", amount=1.0)
+
+    def test_rejects_non_positive_amount(self):
+        with pytest.raises(ValueError):
+            Transaction("a", "b", amount=0.0)
+
+    def test_rejects_negative_fee(self):
+        with pytest.raises(ValueError):
+            Transaction("a", "b", amount=1.0, fee=-0.1)
+
+    def test_rejects_negative_nonce(self):
+        with pytest.raises(ValueError):
+            Transaction("a", "b", amount=1.0, nonce=-1)
+
+    def test_key_identity(self):
+        tx = Transaction("a", "b", amount=1.0, nonce=3)
+        assert tx.key() == ("a", 3)
+
+
+class TestMempool:
+    def test_fee_priority(self):
+        pool = Mempool()
+        cheap = Transaction("a", "b", amount=1, fee=0.01, nonce=0)
+        rich = Transaction("c", "b", amount=1, fee=0.5, nonce=0)
+        pool.add(cheap)
+        pool.add(rich)
+        assert pool.take(1) == [rich]
+        assert pool.take(5) == [cheap]
+
+    def test_fifo_on_equal_fee(self):
+        pool = Mempool()
+        first = Transaction("a", "b", amount=1, fee=0.1, nonce=0)
+        second = Transaction("c", "b", amount=1, fee=0.1, nonce=0)
+        pool.add(first)
+        pool.add(second)
+        assert pool.take(2) == [first, second]
+
+    def test_duplicate_rejected(self):
+        pool = Mempool()
+        tx = Transaction("a", "b", amount=1, nonce=0)
+        assert pool.add(tx)
+        assert not pool.add(Transaction("a", "x", amount=2, nonce=0))
+        assert len(pool) == 1
+
+    def test_contains(self):
+        pool = Mempool()
+        tx = Transaction("a", "b", amount=1, nonce=0)
+        pool.add(tx)
+        assert tx in pool
+
+    def test_capacity_eviction(self):
+        pool = Mempool(capacity=2)
+        low = Transaction("a", "b", amount=1, fee=0.01, nonce=0)
+        mid = Transaction("c", "b", amount=1, fee=0.05, nonce=0)
+        high = Transaction("d", "b", amount=1, fee=0.50, nonce=0)
+        pool.add(low)
+        pool.add(mid)
+        assert pool.add(high)  # evicts `low`
+        assert len(pool) == 2
+        assert low not in pool
+
+    def test_low_fee_newcomer_rejected_at_capacity(self):
+        pool = Mempool(capacity=1)
+        pool.add(Transaction("a", "b", amount=1, fee=0.5, nonce=0))
+        assert not pool.add(Transaction("c", "b", amount=1, fee=0.1, nonce=0))
+
+    def test_clear(self):
+        pool = Mempool()
+        pool.add(Transaction("a", "b", amount=1, nonce=0))
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_take_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Mempool().take(-1)
+
+
+class TestBlock:
+    def test_genesis_like(self):
+        block = Block(0, GENESIS_PARENT, 0, "", 0.0, 0.0)
+        assert block.is_genesis
+
+    def test_non_genesis_needs_proposer(self):
+        with pytest.raises(ValueError):
+            Block(1, 0, 1, "", 1.0, 0.1)
+
+    def test_total_fees(self):
+        txs = (
+            Transaction("a", "b", amount=1, fee=0.1, nonce=0),
+            Transaction("c", "b", amount=1, fee=0.2, nonce=0),
+        )
+        block = Block(1, 0, 1, "m", 1.0, 0.1, transactions=txs)
+        assert block.total_fees == pytest.approx(0.3)
+
+
+class TestBlockchain:
+    @pytest.fixture
+    def chain(self):
+        return Blockchain({"alice": 5.0, "bob": 3.0})
+
+    def make_block(self, chain, proposer="alice", reward=1.0, txs=()):
+        return Block(
+            height=chain.height + 1,
+            parent_hash=chain.tip.block_hash,
+            block_hash=chain.tip.block_hash + 1,
+            proposer=proposer,
+            timestamp=chain.tip.timestamp + 10,
+            reward=reward,
+            transactions=tuple(txs),
+        )
+
+    def test_genesis_state(self, chain):
+        assert chain.height == 0
+        assert chain.balance("alice") == 5.0
+        assert chain.total_supply() == 8.0
+
+    def test_append_credits_reward(self, chain):
+        chain.append(self.make_block(chain))
+        assert chain.height == 1
+        assert chain.balance("alice") == 6.0
+        assert chain.total_supply() == 9.0
+
+    def test_transactions_move_value(self, chain):
+        tx = Transaction("alice", "bob", amount=2.0, fee=0.5, nonce=0)
+        chain.append(self.make_block(chain, proposer="bob", txs=[tx]))
+        assert chain.balance("alice") == pytest.approx(2.5)
+        # Bob: 3 + 2 amount + 1 reward + 0.5 fee.
+        assert chain.balance("bob") == pytest.approx(6.5)
+        assert chain.next_nonce("alice") == 1
+
+    def test_rejects_wrong_height(self, chain):
+        block = self.make_block(chain)
+        object.__setattr__(block, "height", 5)
+        with pytest.raises(InvalidBlockError, match="height"):
+            chain.append(block)
+
+    def test_rejects_wrong_parent(self, chain):
+        block = self.make_block(chain)
+        object.__setattr__(block, "parent_hash", 999)
+        with pytest.raises(InvalidBlockError, match="parent"):
+            chain.append(block)
+
+    def test_rejects_time_travel(self, chain):
+        chain.append(self.make_block(chain))
+        block = self.make_block(chain)
+        object.__setattr__(block, "timestamp", 1.0)
+        with pytest.raises(InvalidBlockError, match="timestamp"):
+            chain.append(block)
+
+    def test_rejects_overdraft(self, chain):
+        tx = Transaction("alice", "bob", amount=100.0, nonce=0)
+        with pytest.raises(InvalidBlockError, match="balance"):
+            chain.append(self.make_block(chain, txs=[tx]))
+
+    def test_rejects_bad_nonce(self, chain):
+        tx = Transaction("alice", "bob", amount=1.0, nonce=5)
+        with pytest.raises(InvalidBlockError, match="nonce"):
+            chain.append(self.make_block(chain, txs=[tx]))
+
+    def test_sequential_nonces_in_one_block(self, chain):
+        txs = [
+            Transaction("alice", "bob", amount=1.0, nonce=0),
+            Transaction("alice", "bob", amount=1.0, nonce=1),
+        ]
+        chain.append(self.make_block(chain, txs=txs))
+        assert chain.next_nonce("alice") == 2
+
+    def test_rejected_block_leaves_state_untouched(self, chain):
+        good = Transaction("alice", "bob", amount=1.0, nonce=0)
+        bad = Transaction("alice", "bob", amount=100.0, nonce=1)
+        with pytest.raises(InvalidBlockError):
+            chain.append(self.make_block(chain, txs=[good, bad]))
+        assert chain.balance("alice") == 5.0
+        assert chain.next_nonce("alice") == 0
+        assert chain.height == 0
+
+    def test_credit_mints(self, chain):
+        chain.credit("carol", 2.0)
+        assert chain.balance("carol") == 2.0
+        with pytest.raises(ValueError):
+            chain.credit("carol", -1.0)
+
+    def test_proposer_counts(self, chain):
+        chain.append(self.make_block(chain, proposer="alice"))
+        chain.append(self.make_block(chain, proposer="bob"))
+        chain.append(self.make_block(chain, proposer="alice"))
+        assert chain.proposer_counts() == {"alice": 2, "bob": 1}
+
+    def test_reward_series(self, chain):
+        chain.append(self.make_block(chain, proposer="alice"))
+        chain.append(self.make_block(chain, proposer="bob"))
+        series = chain.reward_series(["alice", "bob"])
+        assert series["alice"] == [1.0, 1.0]
+        assert series["bob"] == [0.0, 1.0]
+
+    def test_block_interval_mean(self, chain):
+        chain.append(self.make_block(chain))
+        chain.append(self.make_block(chain))
+        assert chain.block_interval_mean() == pytest.approx(10.0)
+
+    def test_interval_needs_two_blocks(self, chain):
+        with pytest.raises(ValueError):
+            chain.block_interval_mean()
+
+    def test_rejects_empty_genesis(self):
+        with pytest.raises(ValueError):
+            Blockchain({})

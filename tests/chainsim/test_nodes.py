@@ -1,0 +1,192 @@
+"""Tests for the mining node implementations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chainsim.chain import Blockchain
+from repro.chainsim.c_pos_node import CPoSCommittee, CPoSValidator
+from repro.chainsim.hash_oracle import HASH_SPACE, HashOracle
+from repro.chainsim.ml_pos_node import MLPoSNode
+from repro.chainsim.node import MiningNode
+from repro.chainsim.pow_node import PoWNode
+from repro.chainsim.sl_pos_node import FSLPoSNode, SLPoSNode
+
+
+@pytest.fixture
+def oracle():
+    return HashOracle(99)
+
+
+@pytest.fixture
+def chain():
+    return Blockchain({"A": 0.2, "B": 0.8})
+
+
+class TestPoWNode:
+    def test_success_rate_tracks_target(self, oracle, chain):
+        node = PoWNode("A", oracle, hash_rate=1)
+        target = HASH_SPACE // 10  # 10% per nonce
+        wins = sum(
+            node.try_propose(chain, tick, float(target)) is not None
+            for tick in range(5000)
+        )
+        assert wins / 5000 == pytest.approx(0.1, abs=0.02)
+
+    def test_higher_rate_more_wins(self, oracle, chain):
+        target = float(HASH_SPACE // 50)
+        slow = PoWNode("A", HashOracle(1), hash_rate=1)
+        fast = PoWNode("B", HashOracle(1), hash_rate=10)
+        slow_wins = sum(
+            slow.try_propose(chain, t, target) is not None for t in range(2000)
+        )
+        fast_wins = sum(
+            fast.try_propose(chain, t, target) is not None for t in range(2000)
+        )
+        assert fast_wins > 5 * slow_wins
+
+    def test_nonces_advance(self, oracle, chain):
+        node = PoWNode("A", oracle, hash_rate=3)
+        node.try_propose(chain, 0, 1.0)
+        assert node._nonce == 3
+
+    def test_rejects_zero_difficulty(self, oracle, chain):
+        node = PoWNode("A", oracle, hash_rate=1)
+        with pytest.raises(ValueError):
+            node.try_propose(chain, 0, 0.0)
+
+    def test_deadline_interface_not_supported(self, oracle):
+        node = PoWNode("A", oracle, hash_rate=1)
+        with pytest.raises(NotImplementedError):
+            node.proposal_deadline(None, 1.0)
+
+
+class TestMLPoSNode:
+    def test_success_scales_with_stake(self, oracle):
+        chain = Blockchain({"A": 0.2, "B": 0.8})
+        # Difficulty such that p_total = 20%/unit stake.
+        difficulty = HASH_SPACE / 5.0
+        node_a = MLPoSNode("A", oracle)
+        node_b = MLPoSNode("B", oracle)
+        wins_a = sum(
+            node_a.try_propose(chain, t, difficulty) is not None
+            for t in range(8000)
+        )
+        wins_b = sum(
+            node_b.try_propose(chain, t, difficulty) is not None
+            for t in range(8000)
+        )
+        # p_A = 0.04, p_B = 0.16.
+        assert wins_a / 8000 == pytest.approx(0.04, abs=0.01)
+        assert wins_b / 8000 == pytest.approx(0.16, abs=0.015)
+
+    def test_zero_stake_never_wins(self, oracle):
+        chain = Blockchain({"A": 0.0, "B": 1.0})
+        node = MLPoSNode("A", oracle)
+        assert node.try_propose(chain, 0, HASH_SPACE / 2.0) is None
+
+    def test_one_trial_per_timestamp(self, oracle):
+        # The same tick always yields the same outcome (no retries).
+        chain = Blockchain({"A": 0.5, "B": 0.5})
+        node = MLPoSNode("A", oracle)
+        first = node.try_propose(chain, 7, HASH_SPACE / 3.0)
+        second = node.try_propose(chain, 7, HASH_SPACE / 3.0)
+        assert first == second
+
+
+class TestDeadlineNodes:
+    def test_sl_deadline_formula(self, oracle, chain):
+        node = SLPoSNode("A", oracle)
+        basetime = 60.0
+        u = oracle.fraction("A", chain.tip.block_hash)
+        expected = chain.tip.timestamp + basetime * u / 0.2
+        assert node.proposal_deadline(chain, basetime) == pytest.approx(expected)
+
+    def test_fsl_deadline_formula(self, oracle, chain):
+        node = FSLPoSNode("A", oracle)
+        basetime = 60.0
+        u = oracle.fraction("A", chain.tip.block_hash)
+        expected = chain.tip.timestamp + basetime * (-math.log1p(-u)) / 0.2
+        assert node.proposal_deadline(chain, basetime) == pytest.approx(expected)
+
+    def test_zero_stake_infinite_deadline(self, oracle):
+        chain = Blockchain({"A": 0.0, "B": 1.0})
+        assert SLPoSNode("A", oracle).proposal_deadline(chain, 60.0) == math.inf
+
+    def test_rejects_bad_basetime(self, oracle, chain):
+        with pytest.raises(ValueError):
+            SLPoSNode("A", oracle).proposal_deadline(chain, 0.0)
+
+    def test_sl_win_rate_matches_equation_one(self, chain):
+        # Over many independent universes, A (20%) wins ~12.5% of first
+        # blocks under SL-PoS but ~20% under FSL-PoS.
+        sl_wins = fsl_wins = trials = 4000
+        sl_wins = 0
+        fsl_wins = 0
+        for seed in range(trials):
+            oracle = HashOracle(seed)
+            sl_a = SLPoSNode("A", oracle).proposal_deadline(chain, 60.0)
+            sl_b = SLPoSNode("B", oracle).proposal_deadline(chain, 60.0)
+            sl_wins += sl_a < sl_b
+            fsl_a = FSLPoSNode("A", oracle).proposal_deadline(chain, 60.0)
+            fsl_b = FSLPoSNode("B", oracle).proposal_deadline(chain, 60.0)
+            fsl_wins += fsl_a < fsl_b
+        assert sl_wins / trials == pytest.approx(0.125, abs=0.02)
+        assert fsl_wins / trials == pytest.approx(0.2, abs=0.02)
+
+    def test_tick_interface_not_supported(self, oracle, chain):
+        with pytest.raises(NotImplementedError):
+            SLPoSNode("A", oracle).try_propose(chain, 0, 1.0)
+
+
+class TestCPoSCommittee:
+    def test_stake_shares(self, oracle, chain):
+        validators = [CPoSValidator("A", oracle), CPoSValidator("B", oracle)]
+        committee = CPoSCommittee(validators, oracle, shards=8)
+        shares = committee.stake_shares(chain)
+        assert shares["A"] == pytest.approx(0.2)
+
+    def test_elects_one_proposer_per_shard(self, oracle, chain):
+        validators = [CPoSValidator("A", oracle), CPoSValidator("B", oracle)]
+        committee = CPoSCommittee(validators, oracle, shards=16)
+        proposers = committee.elect_proposers(chain, epoch=0)
+        assert len(proposers) == 16
+        assert set(proposers) <= {"A", "B"}
+
+    def test_election_proportional(self, chain):
+        oracle = HashOracle(5)
+        validators = [CPoSValidator("A", oracle), CPoSValidator("B", oracle)]
+        committee = CPoSCommittee(validators, oracle, shards=32)
+        counts = {"A": 0, "B": 0}
+        for epoch in range(500):
+            for proposer in committee.elect_proposers(chain, epoch):
+                counts[proposer] += 1
+        total = sum(counts.values())
+        assert counts["A"] / total == pytest.approx(0.2, abs=0.02)
+
+    def test_attester_rewards_proportional(self, oracle, chain):
+        validators = [CPoSValidator("A", oracle), CPoSValidator("B", oracle)]
+        committee = CPoSCommittee(validators, oracle, shards=4)
+        rewards = committee.attester_rewards(chain, inflation_reward=0.1)
+        assert rewards["A"] == pytest.approx(0.02)
+        assert rewards["B"] == pytest.approx(0.08)
+
+    def test_vote_participation_scales(self, oracle, chain):
+        validators = [CPoSValidator("A", oracle), CPoSValidator("B", oracle)]
+        committee = CPoSCommittee(validators, oracle, shards=4)
+        rewards = committee.attester_rewards(
+            chain, inflation_reward=0.1, vote_participation=0.5
+        )
+        assert rewards["A"] == pytest.approx(0.01)
+
+    def test_rejects_duplicate_addresses(self, oracle):
+        validators = [CPoSValidator("A", oracle), CPoSValidator("A", oracle)]
+        with pytest.raises(ValueError):
+            CPoSCommittee(validators, oracle)
+
+    def test_rejects_negative_epoch(self, oracle, chain):
+        validators = [CPoSValidator("A", oracle), CPoSValidator("B", oracle)]
+        committee = CPoSCommittee(validators, oracle)
+        with pytest.raises(ValueError):
+            committee.elect_proposers(chain, epoch=-1)

@@ -1,0 +1,111 @@
+"""Tests for repro.chainsim.vesting (the Section 6.3 ledger)."""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.block import Block
+from repro.chainsim.chain import InvalidBlockError
+from repro.chainsim.harness import SystemExperiment
+from repro.chainsim.transactions import Transaction
+from repro.chainsim.vesting import VestingBlockchain
+from repro.core.miners import Allocation
+
+
+def make_block(chain, proposer="A", reward=1.0, txs=()):
+    return Block(
+        height=chain.height + 1,
+        parent_hash=chain.tip.block_hash,
+        block_hash=chain.tip.block_hash + 1,
+        proposer=proposer,
+        timestamp=chain.tip.timestamp + 10,
+        reward=reward,
+        transactions=tuple(txs),
+    )
+
+
+@pytest.fixture
+def chain():
+    return VestingBlockchain({"A": 2.0, "B": 8.0}, vesting_period=3)
+
+
+class TestPendingAccounting:
+    def test_reward_goes_to_pending(self, chain):
+        chain.append(make_block(chain))
+        assert chain.balance("A") == 2.0  # staking power unchanged
+        assert chain.pending("A") == 1.0
+        assert chain.total_balance("A") == 3.0
+
+    def test_total_supply_includes_pending(self, chain):
+        chain.append(make_block(chain))
+        assert chain.total_supply() == pytest.approx(11.0)
+
+    def test_vesting_at_period_boundary(self, chain):
+        for _ in range(3):
+            chain.append(make_block(chain))
+        # Height 3 is a multiple of the period: all pending vested.
+        assert chain.pending("A") == 0.0
+        assert chain.balance("A") == 5.0
+        assert chain.vesting_events == 1
+
+    def test_multiple_periods(self, chain):
+        for _ in range(7):
+            chain.append(make_block(chain))
+        # Vested at heights 3 and 6; one block still pending.
+        assert chain.vesting_events == 2
+        assert chain.pending("A") == 1.0
+        assert chain.balance("A") == 8.0
+
+    def test_zero_reward_blocks_pass_through(self, chain):
+        chain.append(make_block(chain, reward=0.0))
+        assert chain.pending("A") == 0.0
+
+
+class TestSpendingRules:
+    def test_unvested_rewards_cannot_be_spent(self):
+        chain = VestingBlockchain({"A": 0.5, "B": 8.0}, vesting_period=10)
+        chain.append(make_block(chain, reward=5.0))
+        # A's vested balance is 0.5; the 5.0 reward is locked.
+        tx = Transaction("A", "B", amount=2.0, nonce=0)
+        with pytest.raises(InvalidBlockError, match="balance"):
+            chain.append(make_block(chain, proposer="B", txs=[tx]))
+
+    def test_vested_rewards_spendable(self):
+        chain = VestingBlockchain({"A": 0.5, "B": 8.0}, vesting_period=1)
+        chain.append(make_block(chain, reward=5.0))  # vests immediately
+        tx = Transaction("A", "B", amount=2.0, nonce=0)
+        chain.append(make_block(chain, proposer="B", txs=[tx]))
+        assert chain.balance("A") == pytest.approx(3.5)
+
+    def test_fees_pay_out_immediately(self):
+        chain = VestingBlockchain({"A": 5.0, "B": 5.0}, vesting_period=100)
+        tx = Transaction("A", "B", amount=1.0, fee=0.5, nonce=0)
+        chain.append(make_block(chain, proposer="B", reward=1.0, txs=[tx]))
+        # B: 5 + 1 amount + 0.5 fee vested; the 1.0 subsidy pending.
+        assert chain.balance("B") == pytest.approx(6.5)
+        assert chain.pending("B") == pytest.approx(1.0)
+
+
+class TestSystemWithholding:
+    def test_harness_deploys_vesting_chain(self, two_miners):
+        experiment = SystemExperiment(
+            "fsl-pos-withhold", two_miners, vesting_period=50
+        )
+        result = experiment.run(rounds=120, repeats=5, seed=1)
+        assert result.protocol_name == "system:fsl-pos-withhold"
+        np.testing.assert_allclose(
+            result.reward_fractions.sum(axis=2), 1.0
+        )
+
+    def test_withholding_tightens_system_runs(self, two_miners):
+        rounds, repeats = 600, 40
+        plain = SystemExperiment("fsl-pos", two_miners).run(
+            rounds, repeats, seed=5
+        )
+        withheld = SystemExperiment(
+            "fsl-pos-withhold", two_miners, vesting_period=150
+        ).run(rounds, repeats, seed=5)
+        assert (
+            withheld.final_fractions().std()
+            < plain.final_fractions().std()
+        )
+        assert withheld.final_fractions().mean() == pytest.approx(0.2, abs=0.05)

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.sim.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def source() -> RandomSource:
+    """A fixed-seed hierarchical random source."""
+    return RandomSource(12345)
+
+
+@pytest.fixture
+def two_miners() -> Allocation:
+    """The paper's default allocation: A holds 20%."""
+    return Allocation.two_miners(0.2)
+
+
+@pytest.fixture
+def five_miners() -> Allocation:
+    """Table 1 style: A holds 20%, four others split the rest."""
+    return Allocation.focal_vs_equal(0.2, 5)

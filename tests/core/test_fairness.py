@@ -1,0 +1,139 @@
+"""Tests for repro.core.fairness (Definitions 3.1 and 4.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILON,
+    ExpectationalFairness,
+    FairArea,
+    RobustFairness,
+)
+
+
+class TestFairArea:
+    def test_endpoints(self):
+        area = FairArea(share=0.2, epsilon=0.1)
+        assert area.lower == pytest.approx(0.18)
+        assert area.upper == pytest.approx(0.22)
+
+    def test_clipping_at_one(self):
+        area = FairArea(share=0.95, epsilon=0.2)
+        assert area.upper == 1.0
+
+    def test_zero_epsilon_is_a_point(self):
+        area = FairArea(share=0.5, epsilon=0.0)
+        assert area.lower == area.upper == 0.5
+
+    def test_contains_scalar(self):
+        area = FairArea(share=0.2, epsilon=0.1)
+        assert area.contains(0.2)
+        assert area.contains(0.18)
+        assert area.contains(0.22)
+        assert not area.contains(0.1799)
+        assert not area.contains(0.2201)
+
+    def test_contains_array(self):
+        area = FairArea(share=0.2, epsilon=0.1)
+        result = area.contains([0.1, 0.2, 0.3])
+        assert result.tolist() == [False, True, False]
+
+    def test_fair_and_unfair_probability_sum_to_one(self):
+        area = FairArea(share=0.2, epsilon=0.1)
+        values = np.linspace(0, 1, 101)
+        assert area.fair_probability(values) + area.unfair_probability(
+            values
+        ) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        area = FairArea(share=0.2, epsilon=0.1)
+        with pytest.raises(ValueError):
+            area.fair_probability([])
+
+    def test_rejects_degenerate_share(self):
+        with pytest.raises(ValueError):
+            FairArea(share=0.0, epsilon=0.1)
+
+
+class TestExpectationalFairness:
+    def test_fair_sample(self, rng):
+        checker = ExpectationalFairness(0.2)
+        samples = rng.binomial(1000, 0.2, size=5000) / 1000
+        verdict = checker.evaluate(samples)
+        assert verdict.is_fair
+        assert verdict.sample_mean == pytest.approx(0.2, abs=0.005)
+        assert abs(verdict.z_score) < 4
+
+    def test_unfair_sample(self, rng):
+        checker = ExpectationalFairness(0.2)
+        samples = rng.binomial(1000, 0.1, size=5000) / 1000
+        verdict = checker.evaluate(samples)
+        assert not verdict.is_fair
+        assert verdict.bias < -0.05
+
+    def test_tolerance_mode(self):
+        checker = ExpectationalFairness(0.2, tolerance=0.05)
+        verdict = checker.evaluate([0.23] * 10)
+        assert verdict.is_fair
+        verdict = checker.evaluate([0.3] * 10)
+        assert not verdict.is_fair
+
+    def test_single_sample_degenerate(self):
+        checker = ExpectationalFairness(0.2)
+        verdict = checker.evaluate([0.2])
+        assert verdict.is_fair
+        assert math.isnan(verdict.z_score)
+
+    def test_constant_exact_sample(self):
+        checker = ExpectationalFairness(0.2)
+        verdict = checker.evaluate([0.2] * 100)
+        assert verdict.is_fair
+
+    def test_rejects_out_of_range_fraction(self):
+        checker = ExpectationalFairness(0.2)
+        with pytest.raises(ValueError):
+            checker.evaluate([1.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ExpectationalFairness(0.2).evaluate([])
+
+
+class TestRobustFairness:
+    def test_defaults_match_paper(self):
+        checker = RobustFairness(0.2)
+        assert checker.epsilon == DEFAULT_EPSILON == 0.1
+        assert checker.delta == DEFAULT_DELTA == 0.1
+
+    def test_fair_concentrated_sample(self):
+        checker = RobustFairness(0.2)
+        verdict = checker.evaluate([0.2] * 95 + [0.5] * 5)
+        assert verdict.is_fair
+        assert verdict.unfair_probability == pytest.approx(0.05)
+        assert verdict.sample_size == 100
+
+    def test_unfair_dispersed_sample(self):
+        checker = RobustFairness(0.2)
+        # The paper's motivating example: 20% all-or-nothing lottery is
+        # expectationally fair but maximally non-robust.
+        verdict = checker.evaluate([1.0] * 20 + [0.0] * 80)
+        assert not verdict.is_fair
+        assert verdict.unfair_probability == 1.0
+
+    def test_boundary_delta(self):
+        checker = RobustFairness(0.2, epsilon=0.1, delta=0.1)
+        verdict = checker.evaluate([0.2] * 90 + [0.9] * 10)
+        assert verdict.is_fair  # exactly delta is allowed
+
+    def test_zero_zero_fairness_only_for_exact(self):
+        checker = RobustFairness(0.2, epsilon=0.0, delta=0.0)
+        assert checker.evaluate([0.2] * 10).is_fair
+        assert not checker.evaluate([0.2] * 9 + [0.21]).is_fair
+
+    def test_verdict_carries_fair_area(self):
+        verdict = RobustFairness(0.3, 0.2, 0.1).evaluate([0.3])
+        assert verdict.fair_area.lower == pytest.approx(0.24)
+        assert verdict.fair_area.upper == pytest.approx(0.36)

@@ -1,0 +1,146 @@
+"""Tests for repro.core.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    convergence_time,
+    gini_coefficient,
+    herfindahl_index,
+    monopolisation_probability,
+    nakamoto_coefficient,
+    return_on_investment,
+    reward_fraction,
+    unfair_probability,
+    unfair_probability_series,
+)
+
+
+class TestRewardFraction:
+    def test_basic(self):
+        assert reward_fraction(2.0, 10.0) == pytest.approx(0.2)
+
+    def test_array(self):
+        result = reward_fraction([1.0, 3.0], 10.0)
+        np.testing.assert_allclose(result, [0.1, 0.3])
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            reward_fraction(1.0, 0.0)
+
+    def test_rejects_inconsistent(self):
+        with pytest.raises(ValueError):
+            reward_fraction(11.0, 10.0)
+
+
+class TestReturnOnInvestment:
+    def test_proportional_outcome_is_one(self):
+        assert return_on_investment(0.2, 0.2) == pytest.approx(1.0)
+
+    def test_scales(self):
+        np.testing.assert_allclose(
+            return_on_investment([0.1, 0.4], 0.2), [0.5, 2.0]
+        )
+
+
+class TestUnfairProbability:
+    def test_all_fair(self):
+        assert unfair_probability([0.2, 0.19, 0.21], 0.2) == 0.0
+
+    def test_all_unfair(self):
+        assert unfair_probability([0.5, 0.6], 0.2) == 1.0
+
+    def test_series_shape(self):
+        fractions = np.full((100, 7), 0.2)
+        series = unfair_probability_series(fractions, 0.2)
+        assert series.shape == (7,)
+        np.testing.assert_allclose(series, 0.0)
+
+    def test_series_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            unfair_probability_series(np.zeros(5), 0.2)
+
+
+class TestConvergenceTime:
+    def test_simple_convergence(self):
+        t = convergence_time([100, 200, 300], [0.5, 0.08, 0.05], delta=0.1)
+        assert t == 200
+
+    def test_never(self):
+        t = convergence_time([100, 200], [0.5, 0.4], delta=0.1)
+        assert math.isinf(t)
+
+    def test_sustained_requirement(self):
+        # Dips below delta then rises again: not converged at the dip.
+        t = convergence_time(
+            [100, 200, 300, 400], [0.05, 0.5, 0.08, 0.05], delta=0.1
+        )
+        assert t == 300
+
+    def test_non_sustained_mode(self):
+        t = convergence_time(
+            [100, 200, 300], [0.05, 0.5, 0.05], delta=0.1, sustained=False
+        )
+        assert t == 100
+
+    def test_rejects_unsorted_checkpoints(self):
+        with pytest.raises(ValueError):
+            convergence_time([200, 100], [0.1, 0.1])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            convergence_time([100], [0.1, 0.2])
+
+
+class TestDecentralisationMetrics:
+    def test_gini_equal_is_zero(self):
+        assert gini_coefficient([1, 1, 1, 1]) == pytest.approx(0.0)
+
+    def test_gini_monopoly(self):
+        # Gini of (n-1) zeros and one holder tends to 1 - 1/n.
+        assert gini_coefficient([0, 0, 0, 10]) == pytest.approx(0.75)
+
+    def test_gini_all_zero(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_hhi_equal(self):
+        assert herfindahl_index([1, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_hhi_monopoly(self):
+        assert herfindahl_index([0, 0, 5]) == pytest.approx(1.0)
+
+    def test_hhi_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            herfindahl_index([0, 0])
+
+    def test_nakamoto_equal(self):
+        # Four equal holders: need 3 to exceed 50%.
+        assert nakamoto_coefficient([1, 1, 1, 1]) == 3
+
+    def test_nakamoto_monopoly(self):
+        assert nakamoto_coefficient([10, 1, 1]) == 1
+
+    def test_nakamoto_threshold(self):
+        # 4+3+2 = 90% exactly, which does not *exceed* 90%: need all 4.
+        assert nakamoto_coefficient([4, 3, 2, 1], threshold=0.9) == 4
+        assert nakamoto_coefficient([4, 3, 2, 1], threshold=0.85) == 3
+
+    def test_nakamoto_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            nakamoto_coefficient([1, 1], threshold=1.0)
+
+
+class TestMonopolisationProbability:
+    def test_mixed(self):
+        shares = np.array([[0.995, 0.005], [0.5, 0.5], [0.001, 0.999]])
+        assert monopolisation_probability(shares) == pytest.approx(2 / 3)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            monopolisation_probability(np.array([0.9, 0.1]))
+
+    def test_rejects_low_margin(self):
+        with pytest.raises(ValueError):
+            monopolisation_probability(np.ones((2, 2)) / 2, margin=0.4)

@@ -1,0 +1,120 @@
+"""Tests for repro.core.miners."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation, Miner
+
+
+class TestMiner:
+    def test_valid(self):
+        miner = Miner(name="A", index=0, share=0.2)
+        assert miner.share == 0.2
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Miner(name="", index=0, share=0.2)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Miner(name="A", index=-1, share=0.2)
+
+    @pytest.mark.parametrize("share", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_degenerate_share(self, share):
+        with pytest.raises(ValueError):
+            Miner(name="A", index=0, share=share)
+
+    def test_frozen(self):
+        miner = Miner(name="A", index=0, share=0.2)
+        with pytest.raises(AttributeError):
+            miner.share = 0.3
+
+
+class TestAllocationConstruction:
+    def test_two_miners(self):
+        alloc = Allocation.two_miners(0.2)
+        assert alloc.shares.tolist() == [0.2, 0.8]
+        assert alloc.focal.name == "A"
+        assert alloc[1].name == "B"
+
+    def test_focal_vs_equal(self):
+        alloc = Allocation.focal_vs_equal(0.2, 5)
+        assert alloc.size == 5
+        assert alloc.focal_share == 0.2
+        np.testing.assert_allclose(alloc.shares[1:], 0.2)
+
+    def test_focal_vs_equal_ten(self):
+        alloc = Allocation.focal_vs_equal(0.2, 10)
+        np.testing.assert_allclose(alloc.shares[1:], 0.8 / 9)
+        np.testing.assert_allclose(alloc.shares.sum(), 1.0)
+
+    def test_uniform(self):
+        alloc = Allocation.uniform(4)
+        np.testing.assert_allclose(alloc.shares, 0.25)
+
+    def test_uniform_rejects_one_miner(self):
+        with pytest.raises(ValueError):
+            Allocation.uniform(1)
+
+    def test_normalise(self):
+        alloc = Allocation([2, 8], normalise=True)
+        assert alloc.focal_share == pytest.approx(0.2)
+
+    def test_custom_names(self):
+        alloc = Allocation([0.5, 0.5], names=["alice", "bob"])
+        assert alloc.share_of("alice") == 0.5
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            Allocation([0.5, 0.5], names=["x", "x"])
+
+    def test_rejects_name_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Allocation([0.5, 0.5], names=["x"])
+
+    def test_default_names_beyond_alphabet(self):
+        alloc = Allocation([1.0 / 12] * 12, normalise=True)
+        assert alloc[11].name == "miner-11"
+
+    def test_rejects_unnormalised_without_flag(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            Allocation([0.2, 0.9])
+
+
+class TestAllocationBehaviour:
+    def test_shares_read_only(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError):
+            alloc.shares[0] = 0.5
+
+    def test_share_of_unknown_raises(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(KeyError):
+            alloc.share_of("Z")
+
+    def test_tiled(self):
+        alloc = Allocation.two_miners(0.3)
+        tiled = alloc.tiled(4)
+        assert tiled.shape == (4, 2)
+        np.testing.assert_allclose(tiled[2], [0.3, 0.7])
+        # Tiled matrix is a fresh, writable copy.
+        tiled[0, 0] = 0.9
+        assert alloc.focal_share == 0.3
+
+    def test_iteration_and_len(self):
+        alloc = Allocation.focal_vs_equal(0.2, 3)
+        names = [m.name for m in alloc]
+        assert names == ["A", "B", "C"]
+        assert len(alloc) == 3
+
+    def test_equality_and_hash(self):
+        a1 = Allocation.two_miners(0.2)
+        a2 = Allocation.two_miners(0.2)
+        a3 = Allocation.two_miners(0.3)
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+        assert a1 != a3
+        assert a1 != "not an allocation"
+
+    def test_repr(self):
+        assert "A=0.2" in repr(Allocation.two_miners(0.2))

@@ -1,0 +1,149 @@
+"""Tests for repro.core.results."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.core.results import EnsembleResult, SeriesSummary
+
+
+def make_result(trials=50, checkpoints=(10, 20, 30), miners=2, value=0.2):
+    """A synthetic result with constant fractions."""
+    allocation = (
+        Allocation.two_miners(0.2)
+        if miners == 2
+        else Allocation.focal_vs_equal(0.2, miners)
+    )
+    fractions = np.zeros((trials, len(checkpoints), miners))
+    fractions[:, :, 0] = value
+    fractions[:, :, 1] = 1.0 - value if miners == 2 else (1 - value) / (miners - 1)
+    if miners > 2:
+        fractions[:, :, 1:] = (1 - value) / (miners - 1)
+    terminal = np.tile(allocation.shares, (trials, 1))
+    return EnsembleResult(
+        "test", allocation, checkpoints, fractions, terminal
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        result = make_result()
+        assert result.trials == 50
+        assert result.miners == 2
+        assert result.horizon == 30
+        assert "test" in repr(result)
+
+    def test_rejects_bad_shape(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError, match="shape"):
+            EnsembleResult("x", alloc, [10], np.zeros((5, 1)))
+
+    def test_rejects_checkpoint_mismatch(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError, match="checkpoints"):
+            EnsembleResult("x", alloc, [10, 20], np.zeros((5, 3, 2)))
+
+    def test_rejects_miner_mismatch(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError, match="miners"):
+            EnsembleResult("x", alloc, [10], np.zeros((5, 1, 3)))
+
+    def test_rejects_decreasing_checkpoints(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError, match="increasing"):
+            EnsembleResult("x", alloc, [20, 10], np.zeros((5, 2, 2)))
+
+    def test_rejects_fraction_above_one(self):
+        alloc = Allocation.two_miners(0.2)
+        fractions = np.full((5, 1, 2), 1.2)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            EnsembleResult("x", alloc, [10], fractions)
+
+    def test_rejects_bad_terminal_shape(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError, match="terminal_stakes"):
+            EnsembleResult(
+                "x", alloc, [10], np.zeros((5, 1, 2)), np.zeros((4, 2))
+            )
+
+    def test_rejects_bad_round_unit(self):
+        alloc = Allocation.two_miners(0.2)
+        with pytest.raises(ValueError, match="round_unit"):
+            EnsembleResult(
+                "x", alloc, [10], np.zeros((5, 1, 2)), round_unit="day"
+            )
+
+
+class TestAccessors:
+    def test_fractions_of(self):
+        result = make_result()
+        paths = result.fractions_of(0)
+        assert paths.shape == (50, 3)
+        np.testing.assert_allclose(paths, 0.2)
+
+    def test_fractions_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_result().fractions_of(5)
+
+    def test_final_fractions(self):
+        final = make_result().final_fractions()
+        assert final.shape == (50,)
+
+    def test_terminal_stake_shares_normalised(self):
+        shares = make_result().terminal_stake_shares()
+        np.testing.assert_allclose(shares.sum(axis=1), 1.0)
+
+    def test_terminal_missing_raises(self):
+        alloc = Allocation.two_miners(0.2)
+        result = EnsembleResult("x", alloc, [10], np.full((5, 1, 2), 0.2))
+        with pytest.raises(ValueError, match="terminal"):
+            result.terminal_stake_shares()
+
+
+class TestAnalysis:
+    def test_summary_series(self):
+        summary = make_result().summary()
+        assert isinstance(summary, SeriesSummary)
+        np.testing.assert_allclose(summary.mean, 0.2)
+        np.testing.assert_allclose(summary.lower, 0.2)
+        np.testing.assert_allclose(summary.unfair_probability, 0.0)
+
+    def test_summary_rejects_bad_percentiles(self):
+        with pytest.raises(ValueError):
+            make_result().summary(percentiles=(95.0, 5.0))
+
+    def test_expectational_verdict_constant(self):
+        verdict = make_result().expectational_verdict()
+        assert verdict.is_fair
+
+    def test_robust_verdict_constant(self):
+        verdict = make_result().robust_verdict()
+        assert verdict.is_fair
+        assert verdict.unfair_probability == 0.0
+
+    def test_convergence_time_immediate(self):
+        assert make_result().convergence_time() == 10
+
+    def test_convergence_never(self):
+        result = make_result(value=0.5)  # far outside fair area of 0.2
+        assert math.isinf(result.convergence_time())
+
+    def test_to_dict_round_trip(self):
+        payload = make_result().to_dict()
+        assert payload["protocol"] == "test"
+        assert payload["checkpoints"] == [10, 20, 30]
+        assert len(payload["mean"]) == 3
+
+
+class TestSeriesSummaryValidation:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SeriesSummary(
+                checkpoints=np.array([1, 2]),
+                mean=np.array([0.2]),
+                lower=np.array([0.1, 0.1]),
+                upper=np.array([0.3, 0.3]),
+                unfair_probability=np.array([0.0, 0.0]),
+            )

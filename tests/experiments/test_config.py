@@ -1,0 +1,48 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.experiments.config import CI, DEFAULT, PAPER, Preset, get_preset
+
+
+class TestStockPresets:
+    def test_paper_scale(self):
+        assert PAPER.trials == 10_000
+        assert PAPER.system_repeats_pow == 10
+        assert PAPER.system_repeats_pos == 500
+        assert PAPER.horizon_scale == 1.0
+
+    def test_ci_is_small(self):
+        assert CI.trials < DEFAULT.trials <= PAPER.trials
+        assert CI.horizon_scale < 1.0
+        assert not CI.include_system
+
+    def test_lookup(self):
+        assert get_preset("paper") is PAPER
+        assert get_preset("ci") is CI
+        with pytest.raises(ValueError, match="unknown preset"):
+            get_preset("huge")
+
+
+class TestPresetBehaviour:
+    def test_horizon_scaling(self):
+        assert PAPER.horizon(5000) == 5000
+        assert CI.horizon(5000) == 500
+
+    def test_horizon_floor(self):
+        assert CI.horizon(20) == 10
+
+    def test_with_system(self):
+        quiet = PAPER.with_system(False)
+        assert not quiet.include_system
+        assert quiet.trials == PAPER.trials
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            Preset("x", 10, 10, 1, 1, horizon_scale=0.0, include_system=False)
+        with pytest.raises(ValueError):
+            Preset("x", 10, 10, 1, 1, horizon_scale=2.0, include_system=False)
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            Preset("x", 0, 10, 1, 1, horizon_scale=1.0, include_system=False)

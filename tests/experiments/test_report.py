@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.report."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import (
+    format_value,
+    render_kv,
+    render_table,
+    subsample_rows,
+)
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(0.1, precision=2) == "0.10"
+
+    def test_infinity_renders_never(self):
+        assert format_value(math.inf) == "never"
+
+    def test_nan(self):
+        assert format_value(math.nan) == "nan"
+
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["n", "value"], [[10, 0.5], [1000, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows same width.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="row width"):
+            render_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderKV:
+    def test_aligned(self):
+        text = render_kv({"short": 1, "much longer key": 2})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_kv({})
+
+
+class TestSubsample:
+    def test_keeps_all_when_small(self):
+        rows = [[i] for i in range(5)]
+        assert subsample_rows(rows, max_rows=10) == rows
+
+    def test_keeps_first_and_last(self):
+        rows = [[i] for i in range(100)]
+        sampled = subsample_rows(rows, max_rows=7)
+        assert sampled[0] == [0]
+        assert sampled[-1] == [99]
+        assert len(sampled) <= 7
+
+    def test_rejects_tiny_max(self):
+        with pytest.raises(ValueError):
+            subsample_rows([[1]], max_rows=1)

@@ -1,0 +1,62 @@
+"""Tests for the registry and the repro-experiments CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import CI
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.runner import build_parser, main
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "tab1", "sec64",
+        }
+
+    def test_lookup(self):
+        assert get_experiment("fig1").artefact == "Figure 1"
+        with pytest.raises(ValueError, match="unknown experiment"):
+            get_experiment("fig9")
+
+    def test_run_experiment_fig1(self):
+        result = run_experiment("fig1", CI)
+        assert hasattr(result, "render")
+
+    def test_run_with_preset_and_seed(self):
+        result = get_experiment("fig2").run_with_preset(CI, seed=99)
+        assert result.config.seed == 99
+        assert result.config.preset is CI
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.preset == "default"
+        assert args.experiment == "fig1"
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_main_fig1(self, capsys):
+        assert main(["fig1", "--preset", "ci"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "stable" in output
+
+    def test_main_writes_json(self, tmp_path, capsys):
+        assert main(["fig1", "--preset", "ci", "--json", str(tmp_path)]) == 0
+        payload = json.loads((tmp_path / "fig1.json").read_text())
+        assert "zeros" in payload
+
+    def test_main_no_system_flag(self, capsys):
+        # fig6 at CI preset with --no-system stays simulation-only.
+        assert main(["fig6", "--preset", "ci", "--no-system", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "node-level" not in output

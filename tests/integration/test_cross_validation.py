@@ -1,0 +1,133 @@
+"""Cross-validation: chainsim nodes vs Monte Carlo engine vs closed forms.
+
+The repository has three independent implementations of every
+protocol's lottery — the closed-form law (theory), the vectorised
+sampler (sim), and the node-level mining loop (chainsim).  These tests
+check they agree, which is the strongest internal-consistency evidence
+the reproduction can offer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.harness import SystemExperiment
+from repro.core.miners import Allocation
+from repro.protocols import (
+    CompoundPoS,
+    FairSingleLotteryPoS,
+    MultiLotteryPoS,
+    ProofOfWork,
+    SingleLotteryPoS,
+)
+from repro.sim.engine import simulate
+from repro.theory.win_probability import sl_pos_win_probability_two_miners
+
+
+@pytest.fixture(scope="module")
+def allocation():
+    return Allocation.two_miners(0.2)
+
+
+def system_mean(protocol_key, allocation, rounds, repeats, seed, **kwargs):
+    experiment = SystemExperiment(protocol_key, allocation, **kwargs)
+    result = experiment.run(rounds, repeats, seed=seed)
+    return result.final_fractions().mean()
+
+
+class TestChainsimVsTheory:
+    def test_pow_proposer_frequency(self, allocation):
+        mean = system_mean("pow", allocation, rounds=150, repeats=8, seed=1,
+                           hash_rate_scale=20)
+        assert mean == pytest.approx(0.2, abs=0.06)
+
+    def test_ml_pos_proposer_frequency(self, allocation):
+        mean = system_mean("ml-pos", allocation, rounds=300, repeats=30, seed=2)
+        assert mean == pytest.approx(0.2, abs=0.04)
+
+    def test_sl_pos_matches_biased_law(self, allocation):
+        # First-block win rate across universes ~ S_A / (2 S_B) = 0.125.
+        experiment = SystemExperiment("sl-pos", allocation)
+        result = experiment.run(rounds=1, repeats=400, checkpoints=[1], seed=3)
+        mean = result.final_fractions().mean()
+        expected = sl_pos_win_probability_two_miners(0.2, 0.8)
+        assert mean == pytest.approx(expected, abs=0.05)
+
+    def test_c_pos_income_split(self, allocation):
+        mean = system_mean("c-pos", allocation, rounds=60, repeats=20, seed=4)
+        assert mean == pytest.approx(0.2, abs=0.02)
+
+
+class TestChainsimVsMonteCarlo:
+    """Chainsim and the vectorised engine must produce statistically
+    indistinguishable lambda distributions for the same protocol."""
+
+    def test_sl_pos_decay_agrees(self, allocation):
+        horizon = 500
+        mc = simulate(
+            SingleLotteryPoS(0.01), allocation, horizon, trials=3000, seed=5
+        )
+        system = SystemExperiment("sl-pos", allocation).run(
+            horizon, repeats=150, seed=5
+        )
+        assert system.final_fractions().mean() == pytest.approx(
+            mc.final_fractions().mean(), abs=0.03
+        )
+
+    def test_fsl_pos_agrees(self, allocation):
+        horizon = 400
+        mc = simulate(
+            FairSingleLotteryPoS(0.01), allocation, horizon, trials=3000, seed=6
+        )
+        system = SystemExperiment("fsl-pos", allocation).run(
+            horizon, repeats=150, seed=6
+        )
+        assert system.final_fractions().mean() == pytest.approx(
+            mc.final_fractions().mean(), abs=0.03
+        )
+
+    def test_c_pos_dispersion_agrees(self, allocation):
+        horizon = 50
+        mc = simulate(
+            CompoundPoS(0.01, 0.1, 32), allocation, horizon,
+            trials=3000, seed=7,
+        )
+        system = SystemExperiment("c-pos", allocation).run(
+            horizon, repeats=120, seed=7
+        )
+        assert system.final_fractions().std() == pytest.approx(
+            mc.final_fractions().std(), rel=0.5
+        )
+
+    def test_ml_pos_dispersion_agrees(self, allocation):
+        horizon = 300
+        mc = simulate(
+            MultiLotteryPoS(0.01), allocation, horizon, trials=3000, seed=8
+        )
+        system = SystemExperiment("ml-pos", allocation).run(
+            horizon, repeats=150, seed=8
+        )
+        assert system.final_fractions().std() == pytest.approx(
+            mc.final_fractions().std(), rel=0.5
+        )
+
+
+class TestDifficultyStability:
+    def test_ml_pos_difficulty_absorbs_stake_growth(self, allocation):
+        # With large rewards the total stake doubles; the retargeting
+        # controller must keep the realised block interval near target.
+        from repro.chainsim.chain import Blockchain
+        from repro.chainsim.difficulty import DifficultyAdjuster
+        from repro.chainsim.hash_oracle import HASH_SPACE, HashOracle
+        from repro.chainsim.ml_pos_node import MLPoSNode
+        from repro.chainsim.network import TickMiningNetwork
+
+        oracle = HashOracle(42)
+        chain = Blockchain({"A": 0.2, "B": 0.8})
+        nodes = [MLPoSNode("A", oracle), MLPoSNode("B", oracle)]
+        adjuster = DifficultyAdjuster(
+            HASH_SPACE / 20.0, target_interval=20.0, window=25
+        )
+        network = TickMiningNetwork(chain, nodes, adjuster, block_reward=0.01)
+        network.run(500)  # total stake x6
+        recent = chain.block_interval_mean(window=100)
+        assert recent == pytest.approx(20.0, rel=0.4)

@@ -1,0 +1,166 @@
+"""Property-based tests of the chain substrate's ledger invariants.
+
+The key conservation law: currency is only created by block subsidies
+and protocol inflation; arbitrary valid transaction sequences never
+change the total supply.  Hypothesis generates random payment streams
+and mining schedules and checks the ledger holds.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chainsim.block import Block
+from repro.chainsim.chain import Blockchain, InvalidBlockError
+from repro.chainsim.hash_oracle import HASH_SPACE, HashOracle
+from repro.chainsim.mempool import Mempool
+from repro.chainsim.transactions import Transaction
+from repro.chainsim.vesting import VestingBlockchain
+
+ADDRESSES = ["alice", "bob", "carol"]
+
+
+def make_block(chain, proposer, reward, txs=()):
+    return Block(
+        height=chain.height + 1,
+        parent_hash=chain.tip.block_hash,
+        block_hash=chain.tip.block_hash + 1,
+        proposer=proposer,
+        timestamp=chain.tip.timestamp + 1,
+        reward=reward,
+        transactions=tuple(txs),
+    )
+
+
+@st.composite
+def payment_plans(draw):
+    """A random sequence of (sender, recipient, amount-fraction, fee)."""
+    length = draw(st.integers(min_value=0, max_value=8))
+    plan = []
+    for _ in range(length):
+        sender = draw(st.sampled_from(ADDRESSES))
+        recipient = draw(
+            st.sampled_from([a for a in ADDRESSES if a != sender])
+        )
+        fraction = draw(st.floats(min_value=0.01, max_value=0.5))
+        fee_fraction = draw(st.floats(min_value=0.0, max_value=0.1))
+        plan.append((sender, recipient, fraction, fee_fraction))
+    return plan
+
+
+class TestSupplyConservation:
+    @given(
+        plan=payment_plans(),
+        reward=st.floats(min_value=0.0, max_value=2.0),
+        proposers=st.lists(
+            st.sampled_from(ADDRESSES), min_size=1, max_size=6
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_supply_grows_only_by_subsidies(self, plan, reward, proposers):
+        chain = Blockchain({a: 10.0 for a in ADDRESSES})
+        initial_supply = chain.total_supply()
+        payments = iter(plan)
+        blocks_applied = 0
+        for proposer in proposers:
+            txs = []
+            item = next(payments, None)
+            if item is not None:
+                sender, recipient, fraction, fee_fraction = item
+                balance = chain.balance(sender)
+                amount = balance * fraction
+                fee = balance * fee_fraction
+                if amount > 0 and balance >= amount + fee:
+                    txs.append(
+                        Transaction(
+                            sender, recipient, amount=amount, fee=fee,
+                            nonce=chain.next_nonce(sender),
+                        )
+                    )
+            chain.append(make_block(chain, proposer, reward, txs))
+            blocks_applied += 1
+        expected = initial_supply + reward * blocks_applied
+        assert chain.total_supply() == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        plan=payment_plans(),
+        proposers=st.lists(
+            st.sampled_from(ADDRESSES), min_size=1, max_size=6
+        ),
+        period=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vesting_chain_conserves_supply(self, plan, proposers, period):
+        chain = VestingBlockchain({a: 10.0 for a in ADDRESSES}, period)
+        reward = 0.5
+        for index, proposer in enumerate(proposers):
+            chain.append(make_block(chain, proposer, reward))
+        expected = 30.0 + reward * len(proposers)
+        assert chain.total_supply() == pytest.approx(expected, rel=1e-9)
+        # Vested + pending partition the issued rewards.
+        vested = sum(chain.balance(a) for a in ADDRESSES)
+        pending = sum(chain.pending(a) for a in ADDRESSES)
+        assert vested + pending == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        fraction=st.floats(min_value=0.01, max_value=0.99),
+        fee_fraction=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=60)
+    def test_overdraft_always_rejected(self, fraction, fee_fraction):
+        chain = Blockchain({"alice": 1.0, "bob": 1.0})
+        amount = 1.0 * fraction
+        fee = 1.0 * fee_fraction
+        tx = Transaction("alice", "bob", amount=amount, fee=fee, nonce=0)
+        block = make_block(chain, "bob", 0.1, [tx])
+        if amount + fee > 1.0:
+            with pytest.raises(InvalidBlockError):
+                chain.append(block)
+            assert chain.balance("alice") == 1.0
+        else:
+            chain.append(block)
+            assert chain.balance("alice") == pytest.approx(
+                1.0 - amount - fee
+            )
+
+
+class TestMempoolProperties:
+    @given(
+        fees=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30
+        ),
+        capacity=st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80)
+    def test_capacity_never_exceeded(self, fees, capacity):
+        pool = Mempool(capacity=capacity)
+        for nonce, fee in enumerate(fees):
+            pool.add(Transaction("a", "b", amount=1.0, fee=fee, nonce=nonce))
+        assert len(pool) <= capacity
+
+    @given(
+        fees=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=30
+        )
+    )
+    @settings(max_examples=80)
+    def test_take_returns_descending_fees(self, fees):
+        pool = Mempool()
+        for nonce, fee in enumerate(fees):
+            pool.add(Transaction("a", "b", amount=1.0, fee=fee, nonce=nonce))
+        taken = pool.take(len(fees))
+        observed = [tx.fee for tx in taken]
+        assert observed == sorted(observed, reverse=True)
+
+
+class TestOracleProperties:
+    @given(fields=st.lists(st.integers(), min_size=1, max_size=5))
+    @settings(max_examples=80)
+    def test_digest_in_range(self, fields):
+        oracle = HashOracle(1)
+        assert 0 <= oracle.digest(*fields) < HASH_SPACE
+
+    @given(seed=st.integers(min_value=0, max_value=2**32), x=st.integers())
+    @settings(max_examples=80)
+    def test_deterministic(self, seed, x):
+        assert HashOracle(seed).digest(x) == HashOracle(seed).digest(x)

@@ -1,0 +1,306 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property encodes an invariant the paper's analysis relies on:
+win laws are probability distributions, stakes are conserved,
+reward fractions stay in [0, 1], bounds are monotone, the SL-PoS
+drift has the Theorem 4.9 sign structure, and fairness checkers are
+consistent under epsilon/delta monotonicity.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import FairArea, RobustFairness
+from repro.core.metrics import gini_coefficient, herfindahl_index
+from repro.core.miners import Allocation
+from repro.protocols import (
+    CompoundPoS,
+    FairSingleLotteryPoS,
+    MultiLotteryPoS,
+    ProofOfWork,
+    SingleLotteryPoS,
+)
+from repro.theory.bounds import (
+    CPoSFairnessBound,
+    MLPoSFairnessBound,
+    fairness_budget,
+)
+from repro.theory.polya import ml_pos_block_count_pmf
+from repro.theory.stochastic_approximation import sl_pos_drift
+from repro.theory.win_probability import sl_pos_win_probabilities
+
+# -- strategies ---------------------------------------------------------------
+
+shares = st.floats(min_value=0.01, max_value=0.99)
+rewards = st.floats(min_value=1e-4, max_value=0.5)
+small_ints = st.integers(min_value=1, max_value=200)
+
+
+def stake_vectors(min_size=2, max_size=8):
+    return st.lists(
+        st.floats(min_value=0.01, max_value=10.0),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+# -- win laws -----------------------------------------------------------------
+
+
+class TestWinLawProperties:
+    @given(stakes=stake_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_sl_pos_law_is_distribution(self, stakes):
+        probabilities = sl_pos_win_probabilities(stakes)
+        assert np.all(probabilities >= -1e-12)
+        assert probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(stakes=stake_vectors())
+    @settings(max_examples=60, deadline=None)
+    def test_sl_pos_stochastic_dominance(self, stakes):
+        # A miner with more stake never has a smaller win probability.
+        probabilities = sl_pos_win_probabilities(stakes)
+        order = np.argsort(stakes)
+        sorted_probs = probabilities[order]
+        assert np.all(np.diff(sorted_probs) >= -1e-9)
+
+    @given(stakes=stake_vectors(), scale=st.floats(min_value=0.1, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_sl_pos_scale_invariance(self, stakes, scale):
+        base = sl_pos_win_probabilities(stakes)
+        scaled = sl_pos_win_probabilities([s * scale for s in stakes])
+        np.testing.assert_allclose(base, scaled, atol=1e-9)
+
+
+# -- drift --------------------------------------------------------------------
+
+
+class TestDriftProperties:
+    @given(z=st.floats(min_value=1e-6, max_value=0.5 - 1e-6))
+    @settings(max_examples=80)
+    def test_drift_negative_below_half(self, z):
+        assert sl_pos_drift(z) < 0
+
+    @given(z=st.floats(min_value=0.5 + 1e-6, max_value=1 - 1e-6))
+    @settings(max_examples=80)
+    def test_drift_positive_above_half(self, z):
+        assert sl_pos_drift(z) > 0
+
+    @given(z=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=80)
+    def test_drift_bounded(self, z):
+        assert abs(sl_pos_drift(z)) <= 1.0
+
+
+# -- simulation invariants ------------------------------------------------------
+
+
+class TestSimulationInvariants:
+    @given(
+        share=shares,
+        reward=rewards,
+        horizon=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_stake_conservation_ml_pos(self, share, reward, horizon, seed):
+        rng = np.random.default_rng(seed)
+        protocol = MultiLotteryPoS(reward)
+        state = protocol.make_state(Allocation.two_miners(share), trials=8)
+        protocol.advance_many(state, horizon, rng)
+        np.testing.assert_allclose(
+            state.stakes.sum(axis=1), 1.0 + horizon * reward, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            state.rewards.sum(axis=1), horizon * reward, rtol=1e-9
+        )
+
+    @given(
+        share=shares,
+        reward=rewards,
+        horizon=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reward_fractions_in_unit_interval(self, share, reward, horizon, seed):
+        rng = np.random.default_rng(seed)
+        for protocol in (
+            ProofOfWork(reward),
+            SingleLotteryPoS(reward),
+            FairSingleLotteryPoS(reward),
+        ):
+            state = protocol.make_state(Allocation.two_miners(share), trials=8)
+            protocol.advance_many(state, horizon, rng)
+            fractions = state.rewards / (horizon * reward)
+            assert np.all(fractions >= -1e-12)
+            assert np.all(fractions <= 1.0 + 1e-12)
+
+    @given(
+        share=shares,
+        seed=st.integers(min_value=0, max_value=2**31),
+        shards=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_c_pos_issuance_exact(self, share, seed, shards):
+        rng = np.random.default_rng(seed)
+        protocol = CompoundPoS(0.01, 0.1, shards)
+        state = protocol.make_state(Allocation.two_miners(share), trials=5)
+        protocol.advance_many(state, 10, rng)
+        np.testing.assert_allclose(
+            state.rewards.sum(axis=1), 10 * 0.11, rtol=1e-9
+        )
+
+
+# -- fairness checkers -----------------------------------------------------------
+
+
+class TestFairnessProperties:
+    @given(
+        share=shares,
+        epsilon=st.floats(min_value=0.0, max_value=1.0),
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+        ),
+    )
+    @settings(max_examples=60)
+    def test_fair_plus_unfair_is_one(self, share, epsilon, values):
+        area = FairArea(share=share, epsilon=epsilon)
+        total = area.fair_probability(values) + area.unfair_probability(values)
+        assert total == pytest.approx(1.0)
+
+    @given(
+        share=shares,
+        eps_small=st.floats(min_value=0.01, max_value=0.5),
+        eps_extra=st.floats(min_value=0.0, max_value=0.5),
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+        ),
+    )
+    @settings(max_examples=60)
+    def test_wider_epsilon_never_less_fair(
+        self, share, eps_small, eps_extra, values
+    ):
+        narrow = FairArea(share=share, epsilon=eps_small)
+        wide = FairArea(share=share, epsilon=eps_small + eps_extra)
+        assert wide.fair_probability(values) >= narrow.fair_probability(values)
+
+    @given(
+        share=shares,
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=50
+        ),
+    )
+    @settings(max_examples=60)
+    def test_robust_verdict_consistent(self, share, values):
+        verdict = RobustFairness(share, 0.1, 0.1).evaluate(values)
+        assert verdict.is_fair == (verdict.unfair_probability <= 0.1)
+
+
+# -- theory bounds ----------------------------------------------------------------
+
+
+class TestBoundProperties:
+    @given(
+        eps=st.floats(min_value=0.01, max_value=1.0),
+        delta=st.floats(min_value=0.01, max_value=0.99),
+        share=shares,
+    )
+    @settings(max_examples=60)
+    def test_budget_positive(self, eps, delta, share):
+        assert fairness_budget(eps, delta, share) > 0
+
+    @given(
+        eps=st.floats(min_value=0.01, max_value=1.0),
+        delta=st.floats(min_value=0.01, max_value=0.99),
+        share=shares,
+        n=st.integers(min_value=1, max_value=10**6),
+        reward=rewards,
+    )
+    @settings(max_examples=60)
+    def test_ml_pos_monotone_in_n(self, eps, delta, share, n, reward):
+        bound = MLPoSFairnessBound(eps, delta, share)
+        if bound.is_sufficient(n, reward):
+            assert bound.is_sufficient(n + 1, reward)
+
+    @given(
+        eps=st.floats(min_value=0.01, max_value=1.0),
+        delta=st.floats(min_value=0.01, max_value=0.99),
+        share=shares,
+        n=st.integers(min_value=1, max_value=10**6),
+        shards=st.integers(min_value=1, max_value=128),
+        reward=rewards,
+        inflation=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_c_pos_monotone_in_shards(
+        self, eps, delta, share, n, shards, reward, inflation
+    ):
+        bound = CPoSFairnessBound(eps, delta, share)
+        if bound.is_sufficient(n, shards, reward, inflation):
+            assert bound.is_sufficient(n, shards + 1, reward, inflation)
+
+    @given(
+        share=shares,
+        reward=rewards,
+        n=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_polya_pmf_is_distribution(self, share, reward, n):
+        pmf = ml_pos_block_count_pmf(share, reward, n)
+        assert np.all(pmf >= -1e-12)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+# -- metrics ----------------------------------------------------------------------
+
+
+class TestMetricProperties:
+    @given(amounts=stake_vectors(min_size=2, max_size=10))
+    @settings(max_examples=60)
+    def test_gini_in_unit_interval(self, amounts):
+        g = gini_coefficient(amounts)
+        assert -1e-9 <= g <= 1.0
+
+    @given(amounts=stake_vectors(min_size=2, max_size=10))
+    @settings(max_examples=60)
+    def test_hhi_bounds(self, amounts):
+        h = herfindahl_index(amounts)
+        assert 1.0 / len(amounts) - 1e-9 <= h <= 1.0 + 1e-9
+
+    @given(
+        amounts=stake_vectors(min_size=2, max_size=10),
+        scale=st.floats(min_value=0.1, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_scale_invariance(self, amounts, scale):
+        scaled = [a * scale for a in amounts]
+        assert gini_coefficient(amounts) == pytest.approx(
+            gini_coefficient(scaled), abs=1e-9
+        )
+        assert herfindahl_index(amounts) == pytest.approx(
+            herfindahl_index(scaled), abs=1e-9
+        )
+
+
+# -- allocation -------------------------------------------------------------------
+
+
+class TestAllocationProperties:
+    @given(share=shares, count=st.integers(min_value=2, max_value=12))
+    @settings(max_examples=60)
+    def test_focal_vs_equal_normalised(self, share, count):
+        allocation = Allocation.focal_vs_equal(share, count)
+        assert allocation.shares.sum() == pytest.approx(1.0)
+        assert allocation.focal_share == pytest.approx(share)
+
+    @given(raw=stake_vectors(min_size=2, max_size=10))
+    @settings(max_examples=60)
+    def test_normalise_preserves_ratios(self, raw):
+        allocation = Allocation(raw, normalise=True)
+        ratios = allocation.shares / allocation.shares[0]
+        expected = np.array(raw) / raw[0]
+        np.testing.assert_allclose(ratios, expected, rtol=1e-9)

@@ -1,0 +1,84 @@
+"""Tests for repro.protocols.base."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.base import EnsembleState, sample_winners
+from repro.protocols.ml_pos import MultiLotteryPoS
+
+
+class TestSampleWinners:
+    def test_deterministic_rows(self, rng):
+        probabilities = np.array([[1.0, 0.0], [0.0, 1.0]])
+        winners = sample_winners(probabilities, rng)
+        assert winners.tolist() == [0, 1]
+
+    def test_empirical_frequencies(self, rng):
+        probabilities = np.tile([0.2, 0.3, 0.5], (100_000, 1))
+        winners = sample_winners(probabilities, rng)
+        freq = np.bincount(winners, minlength=3) / winners.size
+        np.testing.assert_allclose(freq, [0.2, 0.3, 0.5], atol=0.01)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            sample_winners(np.array([0.5, 0.5]), rng)
+
+    def test_winners_in_range(self, rng):
+        probabilities = np.tile([0.25] * 4, (1000, 1))
+        winners = sample_winners(probabilities, rng)
+        assert winners.min() >= 0
+        assert winners.max() <= 3
+
+
+class TestEnsembleState:
+    def test_shapes(self, two_miners):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=7)
+        assert state.trials == 7
+        assert state.miners == 2
+        assert state.round_index == 0
+        np.testing.assert_allclose(state.rewards, 0.0)
+
+    def test_stake_shares_normalised(self, two_miners):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=3)
+        shares = state.stake_shares()
+        np.testing.assert_allclose(shares.sum(axis=1), 1.0)
+        np.testing.assert_allclose(shares[0], [0.2, 0.8])
+
+    def test_reward_fractions_requires_positive_total(self, two_miners):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=2)
+        with pytest.raises(ValueError):
+            state.reward_fractions(0.0)
+
+
+class TestProtocolInterface:
+    def test_total_issued(self):
+        protocol = MultiLotteryPoS(0.01)
+        assert protocol.total_issued(100) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            protocol.total_issued(0)
+
+    def test_advance_many_equals_repeated_step(self, two_miners):
+        protocol = MultiLotteryPoS(0.01)
+        rng1 = np.random.default_rng(99)
+        rng2 = np.random.default_rng(99)
+        state1 = protocol.make_state(two_miners, trials=20)
+        state2 = protocol.make_state(two_miners, trials=20)
+        protocol.advance_many(state1, 10, rng1)
+        for _ in range(10):
+            protocol.step(state2, rng2)
+        np.testing.assert_allclose(state1.stakes, state2.stakes)
+        np.testing.assert_allclose(state1.rewards, state2.rewards)
+        assert state1.round_index == state2.round_index == 10
+
+    def test_rejects_non_positive_reward(self):
+        with pytest.raises(ValueError):
+            MultiLotteryPoS(0.0)
+        with pytest.raises(ValueError):
+            MultiLotteryPoS(-0.01)
+
+    def test_repr(self):
+        assert "ML-PoS" in repr(MultiLotteryPoS(0.01))

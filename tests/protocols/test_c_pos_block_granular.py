@@ -1,0 +1,112 @@
+"""Tests for the block-granular C-PoS variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import convergence_time
+from repro.core.miners import Allocation
+from repro.protocols.c_pos import BlockGranularCompoundPoS, CompoundPoS
+from repro.sim.engine import simulate
+
+
+class TestIssuance:
+    def test_total_issued_within_first_epoch(self):
+        protocol = BlockGranularCompoundPoS(0.01, 0.1, 32)
+        # 10 blocks into the first epoch: only proposer subsidies.
+        assert protocol.total_issued(10) == pytest.approx(0.01 / 32 * 10)
+
+    def test_total_issued_after_complete_epochs(self):
+        protocol = BlockGranularCompoundPoS(0.01, 0.1, 32)
+        assert protocol.total_issued(64) == pytest.approx(
+            0.01 / 32 * 64 + 0.1 * 2
+        )
+
+    def test_matches_epoch_protocol_at_boundaries(self):
+        block = BlockGranularCompoundPoS(0.01, 0.1, 32)
+        epoch = CompoundPoS(0.01, 0.1, 32)
+        for epochs in (1, 3, 10):
+            assert block.total_issued(32 * epochs) == pytest.approx(
+                epoch.total_issued(epochs)
+            )
+
+    def test_simulated_issuance_matches(self, two_miners, rng):
+        protocol = BlockGranularCompoundPoS(0.01, 0.1, 8)
+        state = protocol.make_state(two_miners, trials=20)
+        protocol.advance_many(state, 20, rng)  # 2.5 epochs
+        np.testing.assert_allclose(
+            state.rewards.sum(axis=1), protocol.total_issued(20), rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            state.stakes.sum(axis=1),
+            1.0 + protocol.total_issued(20),
+            rtol=1e-9,
+        )
+
+
+class TestDynamics:
+    def test_expectational_fairness(self, rng):
+        allocation = Allocation.two_miners(0.2)
+        protocol = BlockGranularCompoundPoS(0.01, 0.1, 16)
+        state = protocol.make_state(allocation, trials=3000)
+        protocol.advance_many(state, 160, rng)  # 10 epochs
+        fraction = state.rewards[:, 0].mean() / protocol.total_issued(160)
+        assert fraction == pytest.approx(0.2, abs=0.01)
+
+    def test_committee_frozen_within_epoch(self, two_miners, rng):
+        # Mid-epoch stake changes must not alter the proposer law until
+        # the next epoch starts.
+        protocol = BlockGranularCompoundPoS(1.0, 0.0, 8)
+        state = protocol.make_state(two_miners, trials=5)
+        protocol.step(state, rng)
+        frozen = state.extra["epoch_shares"].copy()
+        protocol.step(state, rng)
+        np.testing.assert_array_equal(state.extra["epoch_shares"], frozen)
+
+    def test_committee_refreshes_at_epoch_start(self, two_miners, rng):
+        protocol = BlockGranularCompoundPoS(1.0, 0.5, 4)
+        state = protocol.make_state(two_miners, trials=5)
+        protocol.advance_many(state, 4, rng)  # complete one epoch
+        before = state.extra["epoch_shares"].copy()
+        protocol.step(state, rng)  # first block of epoch 2
+        assert not np.array_equal(state.extra["epoch_shares"], before)
+
+
+class TestConvergenceReconciliation:
+    def test_unfair_until_first_inflation(self):
+        """Within the first epoch lambda is a pure proposer lottery
+        (high unfair probability); the first inflation payment
+        collapses it — reconciling the paper's block-denominated
+        Table 1 convergence (~110 blocks) with the epoch model."""
+        allocation = Allocation.two_miners(0.2)
+        protocol = BlockGranularCompoundPoS(0.01, 0.1, 32)
+        checkpoints = [8, 16, 32, 64, 128, 512]
+        result = simulate(
+            protocol, allocation, 512, trials=2000,
+            checkpoints=checkpoints, seed=3,
+        )
+        unfair = result.unfair_probabilities()
+        assert unfair[0] > 0.9     # mid-first-epoch: lottery only
+        assert unfair[2] < 0.1     # first epoch complete: inflation paid
+        time = convergence_time(checkpoints, unfair, 0.1)
+        assert 16 < time <= 128    # tens of blocks, like the paper
+
+    def test_much_faster_than_pow_in_blocks(self):
+        from repro.protocols.pow import ProofOfWork
+
+        allocation = Allocation.two_miners(0.2)
+        checkpoints = [32, 64, 128, 256, 512, 1024, 2048]
+        c_pos = simulate(
+            BlockGranularCompoundPoS(0.01, 0.1, 32), allocation, 2048,
+            trials=1500, checkpoints=checkpoints, seed=4,
+        )
+        pow_result = simulate(
+            ProofOfWork(0.01), allocation, 2048,
+            trials=1500, checkpoints=checkpoints, seed=4,
+        )
+        c_time = convergence_time(
+            checkpoints, c_pos.unfair_probabilities(), 0.1
+        )
+        pow_time = convergence_time(
+            checkpoints, pow_result.unfair_probabilities(), 0.1
+        )
+        assert c_time * 10 <= pow_time

@@ -1,0 +1,73 @@
+"""Tests for repro.protocols.fsl_pos (the Section 6.2 treatment)."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.fsl_pos import FairSingleLotteryPoS
+from repro.protocols.ml_pos import MultiLotteryPoS
+from repro.protocols.sl_pos import SingleLotteryPoS
+
+
+class TestWinnerLaw:
+    def test_first_block_proportional(self, rng):
+        # The whole point of the treatment: Pr[A wins] = a, not a/(2b).
+        allocation = Allocation.two_miners(0.2)
+        protocol = FairSingleLotteryPoS(0.01)
+        state = protocol.make_state(allocation, trials=100_000)
+        winners = protocol.sample_block_winners(state, rng)
+        assert np.mean(winners == 0) == pytest.approx(0.2, abs=0.005)
+
+    def test_multi_miner_proportional(self, rng):
+        shares = [0.1, 0.2, 0.3, 0.4]
+        protocol = FairSingleLotteryPoS(0.01)
+        state = protocol.make_state(Allocation(shares), trials=200_000)
+        winners = protocol.sample_block_winners(state, rng)
+        empirical = np.bincount(winners, minlength=4) / winners.size
+        np.testing.assert_allclose(empirical, shares, atol=0.005)
+
+    def test_fixes_sl_pos_bias(self, rng):
+        # Side-by-side with SL-PoS at the same allocation.
+        allocation = Allocation.two_miners(0.2)
+        sl = SingleLotteryPoS(0.01)
+        fsl = FairSingleLotteryPoS(0.01)
+        state_sl = sl.make_state(allocation, trials=50_000)
+        state_fsl = fsl.make_state(allocation, trials=50_000)
+        sl_rate = np.mean(sl.sample_block_winners(state_sl, rng) == 0)
+        fsl_rate = np.mean(fsl.sample_block_winners(state_fsl, rng) == 0)
+        assert sl_rate < 0.15 < fsl_rate
+
+
+class TestDynamics:
+    def test_matches_ml_pos_in_law(self, two_miners):
+        # FSL-PoS dynamics coincide with ML-PoS (proportional lottery on
+        # compounding stakes): compare mean and spread after many blocks.
+        rng = np.random.default_rng(21)
+        horizon, trials = 400, 3000
+        fsl = FairSingleLotteryPoS(0.02)
+        state_f = fsl.make_state(two_miners, trials)
+        fsl.advance_many(state_f, horizon, rng)
+        fractions_f = state_f.rewards[:, 0] / (horizon * 0.02)
+        ml = MultiLotteryPoS(0.02)
+        state_m = ml.make_state(two_miners, trials)
+        ml.advance_many(state_m, horizon, rng)
+        fractions_m = state_m.rewards[:, 0] / (horizon * 0.02)
+        assert fractions_f.mean() == pytest.approx(fractions_m.mean(), abs=0.01)
+        assert fractions_f.std() == pytest.approx(fractions_m.std(), rel=0.15)
+
+    def test_expectational_fairness(self, rng):
+        allocation = Allocation.two_miners(0.3)
+        protocol = FairSingleLotteryPoS(0.05)
+        state = protocol.make_state(allocation, trials=4000)
+        protocol.advance_many(state, 200, rng)
+        fraction = state.rewards[:, 0].mean() / (200 * 0.05)
+        assert fraction == pytest.approx(0.3, abs=0.01)
+
+    def test_stake_conservation(self, two_miners, rng):
+        protocol = FairSingleLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=30)
+        protocol.advance_many(state, 100, rng)
+        np.testing.assert_allclose(state.stakes.sum(axis=1), 2.0)
+
+    def test_name(self):
+        assert FairSingleLotteryPoS(0.01).name == "FSL-PoS"

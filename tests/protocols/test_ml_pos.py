@@ -1,0 +1,110 @@
+"""Tests for repro.protocols.ml_pos."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.ml_pos import MultiLotteryPoS
+
+
+class TestDynamics:
+    def test_stake_conservation(self, two_miners, rng):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=50)
+        protocol.advance_many(state, 100, rng)
+        totals = state.stakes.sum(axis=1)
+        np.testing.assert_allclose(totals, 1.0 + 100 * 0.01)
+
+    def test_rewards_compound_into_stake(self, two_miners, rng):
+        protocol = MultiLotteryPoS(0.5)
+        state = protocol.make_state(two_miners, trials=10)
+        protocol.step(state, rng)
+        np.testing.assert_allclose(
+            state.stakes, state.rewards + two_miners.tiled(10)
+        )
+
+    def test_expectational_fairness(self, rng):
+        # Theorem 3.3: E[lambda_A] = a.
+        allocation = Allocation.two_miners(0.2)
+        protocol = MultiLotteryPoS(0.05)
+        state = protocol.make_state(allocation, trials=5000)
+        protocol.advance_many(state, 200, rng)
+        fraction = state.rewards[:, 0].mean() / (200 * 0.05)
+        assert fraction == pytest.approx(0.2, abs=0.01)
+
+    def test_variance_exceeds_pow(self, two_miners):
+        # The urn feedback makes ML-PoS block counts overdispersed
+        # relative to the PoW binomial at the same horizon.
+        from repro.protocols.pow import ProofOfWork
+
+        n = 300
+        rng = np.random.default_rng(3)
+        ml = MultiLotteryPoS(0.05)
+        state_ml = ml.make_state(two_miners, trials=4000)
+        ml.advance_many(state_ml, n, rng)
+        var_ml = (state_ml.rewards[:, 0] / (n * 0.05)).var()
+        pow_protocol = ProofOfWork(0.05)
+        state_pow = pow_protocol.make_state(two_miners, trials=4000)
+        pow_protocol.advance_many(state_pow, n, rng)
+        var_pow = (state_pow.rewards[:, 0] / (n * 0.05)).var()
+        assert var_ml > 1.5 * var_pow
+
+    def test_win_probabilities_proportional(self, two_miners):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=4)
+        np.testing.assert_allclose(
+            protocol.win_probabilities(state), state.stake_shares()
+        )
+
+
+class TestExactRace:
+    def test_exact_race_close_to_proportional(self, two_miners):
+        protocol = MultiLotteryPoS(0.01, exact_race=True)
+        state = protocol.make_state(two_miners, trials=3)
+        probabilities = protocol.win_probabilities(state)
+        # O(p) from proportional with p ~ 1/1200.
+        np.testing.assert_allclose(
+            probabilities[:, 0], 0.2, atol=2.0 / 1200.0
+        )
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_exact_race_small_miner_slightly_below(self, two_miners):
+        # The simultaneous-success tie-break trims the smaller miner by
+        # O(p): (p_A - p_A p_B / 2) / (p_A + p_B - p_A p_B) < p_A / (p_A + p_B)
+        # whenever p_A < p_B.
+        protocol = MultiLotteryPoS(0.01, exact_race=True)
+        state = protocol.make_state(two_miners, trials=1)
+        p = protocol.win_probabilities(state)[0, 0]
+        assert 0.2 - 2.0 / 1200.0 < p < 0.2
+
+    def test_exact_race_rejects_multi_miner(self, five_miners):
+        protocol = MultiLotteryPoS(0.01, exact_race=True)
+        state = protocol.make_state(five_miners, trials=2)
+        with pytest.raises(ValueError, match="two-miner"):
+            protocol.win_probabilities(state)
+
+    def test_rejects_bad_timestamp_probability(self):
+        with pytest.raises(ValueError):
+            MultiLotteryPoS(0.01, timestamp_probability=0.0)
+        with pytest.raises(ValueError):
+            MultiLotteryPoS(0.01, timestamp_probability=1.5)
+
+
+class TestBetaLimit:
+    def test_terminal_distribution_matches_beta(self):
+        """ML-PoS lambda converges to Beta(a/w, b/w) (Section 4.3)."""
+        from scipy import stats
+
+        share, reward, horizon, trials = 0.2, 0.1, 2000, 3000
+        rng = np.random.default_rng(7)
+        protocol = MultiLotteryPoS(reward)
+        state = protocol.make_state(Allocation.two_miners(share), trials)
+        protocol.advance_many(state, horizon, rng)
+        fractions = state.rewards[:, 0] / (horizon * reward)
+        limit = stats.beta(share / reward, (1 - share) / reward)
+        # Two-sample moments against the limit law.
+        assert fractions.mean() == pytest.approx(limit.mean(), abs=0.02)
+        assert fractions.std() == pytest.approx(limit.std(), rel=0.1)
+        # Kolmogorov-Smirnov against the analytic limit CDF.
+        statistic, p_value = stats.kstest(fractions, limit.cdf)
+        assert p_value > 0.001

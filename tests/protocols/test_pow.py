@@ -1,0 +1,72 @@
+"""Tests for repro.protocols.pow."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.pow import ProofOfWork
+
+
+class TestDynamics:
+    def test_hash_power_never_changes(self, two_miners, rng):
+        protocol = ProofOfWork(0.01)
+        state = protocol.make_state(two_miners, trials=50)
+        initial = state.stakes.copy()
+        protocol.advance_many(state, 200, rng)
+        np.testing.assert_allclose(state.stakes, initial)
+
+    def test_rewards_accumulate(self, two_miners, rng):
+        protocol = ProofOfWork(0.01)
+        state = protocol.make_state(two_miners, trials=50)
+        protocol.advance_many(state, 100, rng)
+        totals = state.rewards.sum(axis=1)
+        np.testing.assert_allclose(totals, 1.0)  # 100 blocks * 0.01
+
+    def test_step_single_winner(self, two_miners, rng):
+        protocol = ProofOfWork(0.01)
+        state = protocol.make_state(two_miners, trials=30)
+        protocol.step(state, rng)
+        winners_per_trial = (state.rewards > 0).sum(axis=1)
+        np.testing.assert_array_equal(winners_per_trial, 1)
+        assert state.round_index == 1
+
+    def test_win_rate_proportional(self, rng):
+        allocation = Allocation.two_miners(0.3)
+        protocol = ProofOfWork(1.0)
+        state = protocol.make_state(allocation, trials=2000)
+        protocol.advance_many(state, 100, rng)
+        fraction = state.rewards[:, 0].mean() / 100
+        assert fraction == pytest.approx(0.3, abs=0.01)
+
+    def test_advance_many_matches_step_distribution(self, two_miners):
+        # advance_many uses a multinomial shortcut; its mean/variance
+        # must match the stepwise binomial process.
+        protocol = ProofOfWork(1.0)
+        rng = np.random.default_rng(5)
+        state_fast = protocol.make_state(two_miners, trials=4000)
+        protocol.advance_many(state_fast, 50, rng)
+        fast = state_fast.rewards[:, 0]
+        state_slow = protocol.make_state(two_miners, trials=4000)
+        for _ in range(50):
+            protocol.step(state_slow, rng)
+        slow = state_slow.rewards[:, 0]
+        assert fast.mean() == pytest.approx(slow.mean(), rel=0.05)
+        assert fast.var() == pytest.approx(slow.var(), rel=0.15)
+
+    def test_multi_miner(self, five_miners, rng):
+        protocol = ProofOfWork(0.01)
+        state = protocol.make_state(five_miners, trials=500)
+        protocol.advance_many(state, 200, rng)
+        fractions = state.rewards.mean(axis=0) / (200 * 0.01)
+        np.testing.assert_allclose(fractions, five_miners.shares, atol=0.02)
+
+    def test_advance_many_rejects_zero(self, two_miners, rng):
+        protocol = ProofOfWork(0.01)
+        state = protocol.make_state(two_miners, trials=5)
+        with pytest.raises(ValueError):
+            protocol.advance_many(state, 0, rng)
+
+    def test_name_and_unit(self):
+        protocol = ProofOfWork(0.01)
+        assert protocol.name == "PoW"
+        assert protocol.round_unit == "block"

@@ -1,0 +1,92 @@
+"""Tests for repro.protocols.sl_pos."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.sl_pos import SingleLotteryPoS
+from repro.theory.win_probability import (
+    sl_pos_win_probabilities,
+    sl_pos_win_probability_two_miners,
+)
+
+
+class TestWinnerLaw:
+    def test_first_block_matches_equation_one(self, rng):
+        allocation = Allocation.two_miners(0.2)
+        protocol = SingleLotteryPoS(0.01)
+        state = protocol.make_state(allocation, trials=100_000)
+        winners = protocol.sample_block_winners(state, rng)
+        frequency = np.mean(winners == 0)
+        assert frequency == pytest.approx(0.125, abs=0.005)
+
+    def test_multi_miner_matches_lemma_61(self, rng):
+        shares = [0.1, 0.2, 0.3, 0.4]
+        allocation = Allocation(shares)
+        protocol = SingleLotteryPoS(0.01)
+        state = protocol.make_state(allocation, trials=200_000)
+        winners = protocol.sample_block_winners(state, rng)
+        empirical = np.bincount(winners, minlength=4) / winners.size
+        exact = sl_pos_win_probabilities(shares)
+        np.testing.assert_allclose(empirical, exact, atol=0.005)
+
+    def test_win_probabilities_method(self, two_miners):
+        protocol = SingleLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=3)
+        probabilities = protocol.win_probabilities(state)
+        np.testing.assert_allclose(
+            probabilities[:, 0],
+            sl_pos_win_probability_two_miners(0.2, 0.8),
+            atol=1e-9,
+        )
+
+
+class TestDynamics:
+    def test_stake_conservation(self, two_miners, rng):
+        protocol = SingleLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=40)
+        protocol.advance_many(state, 150, rng)
+        np.testing.assert_allclose(
+            state.stakes.sum(axis=1), 1.0 + 150 * 0.01
+        )
+
+    def test_poor_miner_share_decays(self, rng):
+        # Theorem 3.4 / Figure 2(c): mean share of the poor miner falls.
+        allocation = Allocation.two_miners(0.2)
+        protocol = SingleLotteryPoS(0.05)
+        state = protocol.make_state(allocation, trials=2000)
+        protocol.advance_many(state, 500, rng)
+        final_share = state.stake_shares()[:, 0].mean()
+        assert final_share < 0.15
+
+    def test_symmetric_split_is_balanced(self, rng):
+        allocation = Allocation.two_miners(0.5)
+        protocol = SingleLotteryPoS(0.01)
+        state = protocol.make_state(allocation, trials=3000)
+        protocol.advance_many(state, 100, rng)
+        fraction = state.rewards[:, 0].mean() / (100 * 0.01)
+        assert fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_monopolisation_long_run(self):
+        # Theorem 4.9: shares head to {0, 1}.
+        rng = np.random.default_rng(17)
+        allocation = Allocation.two_miners(0.4)
+        protocol = SingleLotteryPoS(0.1)
+        state = protocol.make_state(allocation, trials=500)
+        protocol.advance_many(state, 15_000, rng)
+        shares = state.stake_shares()
+        dominant = shares.max(axis=1)
+        assert np.mean(dominant > 0.9) > 0.9
+
+    def test_rich_get_richer_multi(self):
+        # Table 1, 10 miners: the unique biggest miner gains share and
+        # every smaller miner loses (full monopolisation takes ~1e5
+        # blocks; this checks the drift direction).
+        rng = np.random.default_rng(23)
+        allocation = Allocation.focal_vs_equal(0.2, 10)
+        protocol = SingleLotteryPoS(0.1)
+        state = protocol.make_state(allocation, trials=200)
+        protocol.advance_many(state, 8000, rng)
+        shares = state.stake_shares().mean(axis=0)
+        assert shares[0] > 0.3  # focal grew from 0.2
+        assert np.all(shares[1:] < 0.8 / 9)  # everyone else shrank

@@ -1,0 +1,97 @@
+"""Tests for repro.protocols.withholding (Section 6.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.fsl_pos import FairSingleLotteryPoS
+from repro.protocols.ml_pos import MultiLotteryPoS
+from repro.protocols.withholding import RewardWithholding
+
+
+class TestConstruction:
+    def test_name_and_unit(self):
+        wrapped = RewardWithholding(FairSingleLotteryPoS(0.01), 1000)
+        assert wrapped.name == "FSL-PoS+withhold"
+        assert wrapped.round_unit == "block"
+        assert wrapped.reward == 0.01
+
+    def test_rejects_nesting(self):
+        inner = RewardWithholding(FairSingleLotteryPoS(0.01), 10)
+        with pytest.raises(TypeError):
+            RewardWithholding(inner, 10)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            RewardWithholding(FairSingleLotteryPoS(0.01), 0)
+
+
+class TestVesting:
+    def test_stakes_frozen_between_vestings(self, two_miners, rng):
+        protocol = RewardWithholding(FairSingleLotteryPoS(0.01), 50)
+        state = protocol.make_state(two_miners, trials=20)
+        initial = state.stakes.copy()
+        protocol.advance_many(state, 49, rng)
+        # 49 blocks < one vesting period: effective stakes untouched.
+        np.testing.assert_allclose(state.stakes, initial)
+        assert state.extra["pending"].sum() == pytest.approx(20 * 49 * 0.01)
+
+    def test_vesting_boundary_folds_pending(self, two_miners, rng):
+        protocol = RewardWithholding(FairSingleLotteryPoS(0.01), 50)
+        state = protocol.make_state(two_miners, trials=20)
+        protocol.advance_many(state, 50, rng)
+        np.testing.assert_allclose(
+            state.stakes.sum(axis=1), 1.0 + 50 * 0.01
+        )
+        assert state.extra["pending"].sum() == 0.0
+
+    def test_rewards_issued_immediately(self, two_miners, rng):
+        protocol = RewardWithholding(FairSingleLotteryPoS(0.01), 1000)
+        state = protocol.make_state(two_miners, trials=20)
+        protocol.advance_many(state, 30, rng)
+        np.testing.assert_allclose(
+            state.rewards.sum(axis=1), 30 * 0.01
+        )
+
+    def test_total_stake_after_many_periods(self, two_miners, rng):
+        protocol = RewardWithholding(MultiLotteryPoS(0.02), 25)
+        state = protocol.make_state(two_miners, trials=10)
+        protocol.advance_many(state, 100, rng)
+        # All four vesting points passed: everything vested.
+        np.testing.assert_allclose(
+            state.stakes.sum(axis=1), 1.0 + 100 * 0.02
+        )
+
+
+class TestFairnessEffect:
+    def test_reduces_dispersion(self, two_miners):
+        # Figure 6(b): withholding collapses the envelope relative to
+        # plain FSL-PoS at the same reward.
+        rng = np.random.default_rng(4)
+        horizon, trials, reward = 2000, 2000, 0.01
+        plain = FairSingleLotteryPoS(reward)
+        state_p = plain.make_state(two_miners, trials)
+        plain.advance_many(state_p, horizon, rng)
+        spread_plain = (state_p.rewards[:, 0] / (horizon * reward)).std()
+        withheld = RewardWithholding(FairSingleLotteryPoS(reward), 400)
+        state_w = withheld.make_state(two_miners, trials)
+        withheld.advance_many(state_w, horizon, rng)
+        spread_withheld = (state_w.rewards[:, 0] / (horizon * reward)).std()
+        assert spread_withheld < 0.6 * spread_plain
+
+    def test_preserves_expectational_fairness(self, rng):
+        allocation = Allocation.two_miners(0.2)
+        protocol = RewardWithholding(FairSingleLotteryPoS(0.05), 50)
+        state = protocol.make_state(allocation, trials=4000)
+        protocol.advance_many(state, 300, rng)
+        fraction = state.rewards[:, 0].mean() / (300 * 0.05)
+        assert fraction == pytest.approx(0.2, abs=0.01)
+
+    def test_win_probabilities_use_vested_stakes(self, two_miners, rng):
+        protocol = RewardWithholding(FairSingleLotteryPoS(0.5), 1000)
+        state = protocol.make_state(two_miners, trials=10)
+        protocol.advance_many(state, 20, rng)
+        # Pending rewards are large (0.5/block) but unvested: the
+        # lottery still sees the initial 0.2/0.8 split.
+        probabilities = protocol.win_probabilities(state)
+        np.testing.assert_allclose(probabilities[:, 0], 0.2)

@@ -1,0 +1,78 @@
+"""Tests for repro.sim.checkpoints."""
+
+import pytest
+
+from repro.sim.checkpoints import (
+    geometric_checkpoints,
+    linear_checkpoints,
+    validate_checkpoints,
+)
+
+
+class TestLinear:
+    def test_basic(self):
+        checkpoints = linear_checkpoints(1000, count=10)
+        assert checkpoints == [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+
+    def test_ends_at_horizon(self):
+        assert linear_checkpoints(997, count=7)[-1] == 997
+
+    def test_count_capped_by_horizon(self):
+        checkpoints = linear_checkpoints(5, count=50)
+        assert checkpoints == [1, 2, 3, 4, 5]
+
+    def test_strictly_increasing(self):
+        checkpoints = linear_checkpoints(123, count=40)
+        assert all(b > a for a, b in zip(checkpoints, checkpoints[1:]))
+
+    def test_all_positive(self):
+        assert min(linear_checkpoints(10, count=10)) >= 1
+
+
+class TestGeometric:
+    def test_endpoints(self):
+        checkpoints = geometric_checkpoints(10_000, count=20, first=10)
+        assert checkpoints[0] == 10
+        assert checkpoints[-1] == 10_000
+
+    def test_strictly_increasing(self):
+        checkpoints = geometric_checkpoints(5000, count=30)
+        assert all(b > a for a, b in zip(checkpoints, checkpoints[1:]))
+
+    def test_log_spacing_denser_early(self):
+        checkpoints = geometric_checkpoints(10_000, count=20, first=1)
+        early_gap = checkpoints[1] - checkpoints[0]
+        late_gap = checkpoints[-1] - checkpoints[-2]
+        assert late_gap > 10 * early_gap
+
+    def test_first_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_checkpoints(10, first=20)
+
+    def test_small_horizon_dedupes(self):
+        checkpoints = geometric_checkpoints(5, count=50)
+        assert checkpoints == sorted(set(checkpoints))
+
+
+class TestValidate:
+    def test_appends_horizon(self):
+        assert validate_checkpoints([10, 20], 30) == [10, 20, 30]
+
+    def test_keeps_exact(self):
+        assert validate_checkpoints([10, 30], 30) == [10, 30]
+
+    def test_rejects_beyond_horizon(self):
+        with pytest.raises(ValueError):
+            validate_checkpoints([10, 40], 30)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            validate_checkpoints([20, 10], 30)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            validate_checkpoints([0, 10], 30)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_checkpoints([], 30)

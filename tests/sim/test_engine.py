@@ -1,0 +1,145 @@
+"""Tests for repro.sim.engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.ml_pos import MultiLotteryPoS
+from repro.protocols.pow import ProofOfWork
+from repro.sim.engine import MonteCarloEngine, simulate
+from repro.sim.events import MinerOutage, MinerRecovery, StakeTopUp
+
+
+class TestConstruction:
+    def test_rejects_non_protocol(self, two_miners):
+        with pytest.raises(TypeError):
+            MonteCarloEngine("pow", two_miners)
+
+    def test_rejects_non_allocation(self):
+        with pytest.raises(TypeError):
+            MonteCarloEngine(ProofOfWork(0.01), [0.2, 0.8])
+
+    def test_repr(self, two_miners):
+        engine = MonteCarloEngine(ProofOfWork(0.01), two_miners, trials=10)
+        assert "PoW" in repr(engine)
+
+
+class TestRun:
+    def test_result_shape(self, two_miners):
+        engine = MonteCarloEngine(ProofOfWork(0.01), two_miners, trials=25, seed=1)
+        result = engine.run(horizon=100, checkpoints=[10, 50, 100])
+        assert result.reward_fractions.shape == (25, 3, 2)
+        assert result.checkpoints.tolist() == [10, 50, 100]
+
+    def test_default_checkpoints_cover_horizon(self, two_miners):
+        result = simulate(
+            ProofOfWork(0.01), two_miners, 200, trials=10, seed=1
+        )
+        assert result.horizon == 200
+
+    def test_reproducible_with_seed(self, two_miners):
+        r1 = simulate(MultiLotteryPoS(0.01), two_miners, 50, trials=20, seed=3)
+        r2 = simulate(MultiLotteryPoS(0.01), two_miners, 50, trials=20, seed=3)
+        np.testing.assert_array_equal(r1.reward_fractions, r2.reward_fractions)
+
+    def test_different_seeds_differ(self, two_miners):
+        r1 = simulate(MultiLotteryPoS(0.01), two_miners, 50, trials=20, seed=3)
+        r2 = simulate(MultiLotteryPoS(0.01), two_miners, 50, trials=20, seed=4)
+        assert not np.array_equal(r1.reward_fractions, r2.reward_fractions)
+
+    def test_fractions_sum_to_one(self, two_miners):
+        result = simulate(
+            MultiLotteryPoS(0.01), two_miners, 100, trials=30, seed=2
+        )
+        totals = result.reward_fractions.sum(axis=2)
+        np.testing.assert_allclose(totals, 1.0)
+
+    def test_fractions_cumulative_consistency(self, two_miners):
+        # The fraction at a later checkpoint is a weighted continuation
+        # of the earlier one; with all rewards equal the block counts
+        # are non-decreasing.
+        result = simulate(
+            MultiLotteryPoS(0.01), two_miners, 100,
+            trials=10, checkpoints=[50, 100], seed=2,
+        )
+        blocks_at_50 = result.reward_fractions[:, 0, 0] * 50
+        blocks_at_100 = result.reward_fractions[:, 1, 0] * 100
+        assert np.all(blocks_at_100 >= blocks_at_50 - 1e-9)
+
+    def test_terminal_stakes_recorded(self, two_miners):
+        result = simulate(
+            MultiLotteryPoS(0.01), two_miners, 50, trials=10, seed=1
+        )
+        assert result.terminal_stakes is not None
+        np.testing.assert_allclose(
+            result.terminal_stakes.sum(axis=1), 1.0 + 50 * 0.01
+        )
+
+    def test_no_terminal_stakes_option(self, two_miners):
+        engine = MonteCarloEngine(ProofOfWork(0.01), two_miners, trials=5, seed=1)
+        result = engine.run(50, record_terminal_stakes=False)
+        assert result.terminal_stakes is None
+
+    def test_round_unit_propagates(self, two_miners):
+        from repro.protocols.c_pos import CompoundPoS
+
+        result = simulate(
+            CompoundPoS(0.01, 0.1, 4), two_miners, 20, trials=5, seed=1
+        )
+        assert result.round_unit == "epoch"
+
+
+class TestEvents:
+    def test_top_up_shifts_fairness(self, two_miners):
+        # Doubling A's stake at round 0 should roughly double A's wins.
+        events = [StakeTopUp(round_index=0, miner=0, amount=0.25)]
+        result = simulate(
+            MultiLotteryPoS(0.01), two_miners, 200,
+            trials=800, events=events, seed=5,
+        )
+        mean = result.final_fractions().mean()
+        assert mean == pytest.approx(0.45 / 1.25, abs=0.02)
+
+    def test_outage_and_recovery(self, two_miners):
+        events = [
+            MinerOutage(round_index=50, miner=0),
+            MinerRecovery(round_index=100, miner=0),
+        ]
+        result = simulate(
+            MultiLotteryPoS(0.01), two_miners, 200,
+            trials=400, events=events, checkpoints=[50, 100, 200], seed=6,
+        )
+        # A wins nothing between rounds 50 and 100.
+        blocks_50 = result.reward_fractions[:, 0, 0] * 50
+        blocks_100 = result.reward_fractions[:, 1, 0] * 100
+        np.testing.assert_allclose(blocks_50, blocks_100, atol=1e-9)
+
+    def test_event_beyond_horizon_rejected(self, two_miners):
+        engine = MonteCarloEngine(ProofOfWork(0.01), two_miners, trials=5, seed=1)
+        with pytest.raises(ValueError, match="exceeds horizon"):
+            engine.run(50, events=[StakeTopUp(round_index=60, miner=0, amount=1.0)])
+
+    def test_event_at_unchecked_round(self, two_miners):
+        # Events do not have to coincide with checkpoints.
+        events = [StakeTopUp(round_index=33, miner=0, amount=0.1)]
+        result = simulate(
+            MultiLotteryPoS(0.01), two_miners, 100,
+            trials=5, events=events, checkpoints=[100], seed=7,
+        )
+        assert result.terminal_stakes.sum() > 5 * (1.0 + 1.0 * 0.01)
+
+
+class TestStatisticalAgreement:
+    def test_pow_matches_binomial_exactly(self, two_miners):
+        # The PoW unfair probability at each checkpoint should match the
+        # exact binomial mass from theory.polya.
+        from repro.theory.polya import pow_fair_probability
+
+        result = simulate(
+            ProofOfWork(0.01), two_miners, 1000,
+            trials=4000, checkpoints=[100, 500, 1000], seed=11,
+        )
+        unfair = result.unfair_probabilities()
+        for i, n in enumerate([100, 500, 1000]):
+            expected = 1.0 - pow_fair_probability(0.2, n, 0.1)
+            assert unfair[i] == pytest.approx(expected, abs=0.03)

@@ -1,0 +1,84 @@
+"""Tests for repro.sim.events."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols.ml_pos import MultiLotteryPoS
+from repro.sim.events import (
+    MinerOutage,
+    MinerRecovery,
+    StakeTopUp,
+    StakeWithdrawal,
+)
+
+
+@pytest.fixture
+def state(two_miners):
+    return MultiLotteryPoS(0.01).make_state(two_miners, trials=5)
+
+
+class TestStakeTopUp:
+    def test_adds_amount(self, state):
+        StakeTopUp(round_index=0, miner=0, amount=0.5).apply(state)
+        np.testing.assert_allclose(state.stakes[:, 0], 0.7)
+        np.testing.assert_allclose(state.stakes[:, 1], 0.8)
+
+    def test_rejects_zero_amount(self):
+        with pytest.raises(ValueError):
+            StakeTopUp(round_index=0, miner=0, amount=0.0)
+
+    def test_rejects_unknown_miner(self, state):
+        with pytest.raises(IndexError):
+            StakeTopUp(round_index=0, miner=7, amount=0.1).apply(state)
+
+
+class TestStakeWithdrawal:
+    def test_proportional_withdrawal(self, state):
+        StakeWithdrawal(round_index=0, miner=1, fraction=0.25).apply(state)
+        np.testing.assert_allclose(state.stakes[:, 1], 0.6)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_rejects_degenerate_fraction(self, fraction):
+        with pytest.raises(ValueError):
+            StakeWithdrawal(round_index=0, miner=0, fraction=fraction)
+
+
+class TestOutageAndRecovery:
+    def test_outage_parks_stake(self, state):
+        MinerOutage(round_index=0, miner=0).apply(state)
+        assert np.all(state.stakes[:, 0] <= 1e-12)
+        assert "outage_0" in state.extra
+
+    def test_recovery_restores(self, state):
+        MinerOutage(round_index=0, miner=0).apply(state)
+        MinerRecovery(round_index=5, miner=0).apply(state)
+        np.testing.assert_allclose(state.stakes[:, 0], 0.2)
+        assert "outage_0" not in state.extra
+
+    def test_double_outage_rejected(self, state):
+        MinerOutage(round_index=0, miner=0).apply(state)
+        with pytest.raises(RuntimeError):
+            MinerOutage(round_index=1, miner=0).apply(state)
+
+    def test_recovery_without_outage_rejected(self, state):
+        with pytest.raises(RuntimeError):
+            MinerRecovery(round_index=0, miner=0).apply(state)
+
+    def test_offline_miner_stops_winning(self, two_miners, rng):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(two_miners, trials=200)
+        MinerOutage(round_index=0, miner=0).apply(state)
+        protocol.advance_many(state, 50, rng)
+        # With ~zero stake, miner 0 essentially never proposes.
+        assert state.rewards[:, 0].sum() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestValidation:
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            StakeTopUp(round_index=-1, miner=0, amount=0.1)
+
+    def test_negative_miner_rejected(self):
+        with pytest.raises(ValueError):
+            MinerOutage(round_index=0, miner=-1)

@@ -1,0 +1,64 @@
+"""Tests for repro.sim.persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols import MultiLotteryPoS, ProofOfWork
+from repro.sim.engine import simulate
+from repro.sim.persistence import load_result, save_result
+
+
+@pytest.fixture
+def result(two_miners):
+    return simulate(MultiLotteryPoS(0.01), two_miners, 100, trials=20, seed=1)
+
+
+class TestRoundTrip:
+    def test_arrays_preserved(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run")
+        loaded = load_result(path)
+        np.testing.assert_array_equal(
+            loaded.reward_fractions, result.reward_fractions
+        )
+        np.testing.assert_array_equal(loaded.checkpoints, result.checkpoints)
+        np.testing.assert_array_equal(
+            loaded.terminal_stakes, result.terminal_stakes
+        )
+
+    def test_metadata_preserved(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "run"))
+        assert loaded.protocol_name == result.protocol_name
+        assert loaded.round_unit == result.round_unit
+        assert loaded.allocation == result.allocation
+
+    def test_suffix_appended(self, result, tmp_path):
+        path = save_result(result, tmp_path / "run")
+        assert path.suffix == ".npz"
+
+    def test_load_without_suffix(self, result, tmp_path):
+        save_result(result, tmp_path / "run")
+        loaded = load_result(tmp_path / "run")
+        assert loaded.trials == result.trials
+
+    def test_without_terminal_stakes(self, two_miners, tmp_path):
+        from repro.sim.engine import MonteCarloEngine
+
+        engine = MonteCarloEngine(ProofOfWork(0.01), two_miners, trials=5, seed=1)
+        result = engine.run(50, record_terminal_stakes=False)
+        loaded = load_result(save_result(result, tmp_path / "bare"))
+        assert loaded.terminal_stakes is None
+
+    def test_analysis_survives_round_trip(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "run"))
+        original = result.robust_verdict()
+        reloaded = loaded.robust_verdict()
+        assert reloaded.unfair_probability == original.unfair_probability
+
+    def test_creates_parent_directories(self, result, tmp_path):
+        path = save_result(result, tmp_path / "deep" / "nested" / "run")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_result(tmp_path / "nothing.npz")

@@ -1,0 +1,91 @@
+"""Tests for repro.sim.rng."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RandomSource, make_generator, spawn_generators
+
+
+class TestMakeGenerator:
+    def test_from_int(self):
+        g1 = make_generator(42)
+        g2 = make_generator(42)
+        assert g1.random() == g2.random()
+
+    def test_from_none(self):
+        assert isinstance(make_generator(None), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert make_generator(g) is g
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        g = make_generator(seq)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        generators = spawn_generators(1, 5)
+        assert len(generators) == 5
+
+    def test_independent_streams(self):
+        a, b = spawn_generators(1, 2)
+        assert a.random() != b.random()
+
+    def test_reproducible(self):
+        first = [g.random() for g in spawn_generators(9, 3)]
+        second = [g.random() for g in spawn_generators(9, 3)]
+        assert first == second
+
+    def test_from_generator(self):
+        children = spawn_generators(np.random.default_rng(3), 2)
+        assert len(children) == 2
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            spawn_generators(1, 0)
+
+
+class TestRandomSource:
+    def test_reproducible_generator(self):
+        assert (
+            RandomSource(5).generator().random()
+            == RandomSource(5).generator().random()
+        )
+
+    def test_generator_memoised(self):
+        source = RandomSource(5)
+        assert source.generator() is source.generator()
+
+    def test_spawn_independence(self):
+        a, b = RandomSource(5).spawn(2)
+        assert a.generator().random() != b.generator().random()
+
+    def test_spawn_reproducible(self):
+        values1 = [c.generator().random() for c in RandomSource(5).spawn(3)]
+        values2 = [c.generator().random() for c in RandomSource(5).spawn(3)]
+        assert values1 == values2
+
+    def test_spawn_one(self):
+        child = RandomSource(5).spawn_one()
+        assert isinstance(child, RandomSource)
+
+    def test_stream(self):
+        stream = RandomSource(5).stream()
+        children = [next(stream) for _ in range(3)]
+        values = [c.generator().random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_entropy_exposed(self):
+        assert RandomSource(5).entropy == 5
+
+    def test_wraps_another_source(self):
+        source = RandomSource(5)
+        rewrapped = RandomSource(source)
+        assert rewrapped.entropy == 5
+
+    def test_from_generator(self):
+        source = RandomSource(np.random.default_rng(3))
+        assert isinstance(source.generator(), np.random.Generator)

@@ -1,0 +1,136 @@
+"""Tests for repro._validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    as_sequence_of_floats,
+    ensure_allocation,
+    ensure_epsilon_delta,
+    ensure_fraction,
+    ensure_non_negative_float,
+    ensure_non_negative_int,
+    ensure_positive_float,
+    ensure_positive_int,
+    ensure_probability,
+)
+
+
+class TestEnsureProbability:
+    def test_accepts_bounds(self):
+        assert ensure_probability("p", 0) == 0.0
+        assert ensure_probability("p", 1) == 1.0
+        assert ensure_probability("p", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match="p must be in"):
+            ensure_probability("p", value)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf")])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_probability("p", value)
+
+    def test_rejects_bool_and_str(self):
+        with pytest.raises(TypeError):
+            ensure_probability("p", True)
+        with pytest.raises(TypeError):
+            ensure_probability("p", "0.5")
+
+
+class TestEnsureFraction:
+    def test_accepts_interior(self):
+        assert ensure_fraction("a", 0.2) == 0.2
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ValueError):
+            ensure_fraction("a", value)
+
+
+class TestPositiveAndNonNegative:
+    def test_positive_float(self):
+        assert ensure_positive_float("w", 0.01) == 0.01
+        with pytest.raises(ValueError):
+            ensure_positive_float("w", 0.0)
+        with pytest.raises(ValueError):
+            ensure_positive_float("w", -1.0)
+
+    def test_non_negative_float(self):
+        assert ensure_non_negative_float("v", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            ensure_non_negative_float("v", -1e-9)
+
+    def test_positive_int(self):
+        assert ensure_positive_int("n", 5) == 5
+        with pytest.raises(ValueError):
+            ensure_positive_int("n", 0)
+        with pytest.raises(TypeError):
+            ensure_positive_int("n", 5.0)
+        with pytest.raises(TypeError):
+            ensure_positive_int("n", True)
+
+    def test_non_negative_int(self):
+        assert ensure_non_negative_int("n", 0) == 0
+        with pytest.raises(ValueError):
+            ensure_non_negative_int("n", -1)
+
+    def test_numpy_integers_accepted(self):
+        assert ensure_positive_int("n", np.int64(7)) == 7
+
+
+class TestEnsureAllocation:
+    def test_valid_allocation(self):
+        shares = ensure_allocation("s", [0.2, 0.8])
+        assert shares.tolist() == [0.2, 0.8]
+
+    def test_normalise(self):
+        shares = ensure_allocation("s", [1, 4], normalise=True)
+        assert shares.tolist() == [0.2, 0.8]
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ensure_allocation("s", [0.2, 0.7])
+
+    def test_rejects_single_miner(self):
+        with pytest.raises(ValueError, match="at least two"):
+            ensure_allocation("s", [1.0])
+
+    def test_rejects_zero_share(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            ensure_allocation("s", [0.0, 1.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            ensure_allocation("s", np.ones((2, 2)))
+
+
+class TestEpsilonDelta:
+    def test_valid(self):
+        assert ensure_epsilon_delta(0.1, 0.1) == (0.1, 0.1)
+        assert ensure_epsilon_delta(0.0, 0.0) == (0.0, 0.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            ensure_epsilon_delta(-0.1, 0.1)
+
+    def test_rejects_delta_above_one(self):
+        with pytest.raises(ValueError):
+            ensure_epsilon_delta(0.1, 1.5)
+
+
+class TestAsSequenceOfFloats:
+    def test_converts(self):
+        arr = as_sequence_of_floats("x", [1, 2, 3])
+        assert arr.dtype == float
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            as_sequence_of_floats("x", [])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_sequence_of_floats("x", [1.0, math.nan])

@@ -1,0 +1,120 @@
+"""Tests for repro.theory.azuma (Theorem 4.3 / 4.10 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.azuma import (
+    azuma_tail,
+    azuma_two_sided,
+    c_pos_deviation_bound,
+    ml_pos_deviation_bound,
+    ml_pos_difference_bounds,
+)
+
+
+class TestAzumaTail:
+    def test_formula(self):
+        # Uniform ranges r_i = 1 over n steps: exp(-2 g^2 / n).
+        bounds = [1.0] * 100
+        assert azuma_tail(10.0, bounds) == pytest.approx(math.exp(-2.0))
+
+    def test_zero_gamma_is_one(self):
+        assert azuma_tail(0.0, [1.0, 1.0]) == 1.0
+
+    def test_degenerate_bounds(self):
+        assert azuma_tail(1.0, [0.0, 0.0]) == 0.0
+        assert azuma_tail(0.0, [0.0]) == 1.0
+
+    def test_two_sided(self):
+        bounds = [0.5] * 10
+        assert azuma_two_sided(1.0, bounds) == pytest.approx(
+            min(1.0, 2 * azuma_tail(1.0, bounds))
+        )
+
+    def test_rejects_negative_bounds(self):
+        with pytest.raises(ValueError):
+            azuma_tail(1.0, [-0.1])
+
+    def test_reduces_to_hoeffding(self):
+        # For i.i.d. variables in [0,1], the Doob martingale of the sum
+        # has differences bounded by 1, matching Hoeffding on the sum.
+        from repro.theory.hoeffding import hoeffding_tail
+
+        n, t = 200, 0.05
+        azuma = azuma_tail(n * t, [1.0] * n)
+        hoeffding = hoeffding_tail(n, t)
+        assert azuma == pytest.approx(hoeffding)
+
+
+class TestMLPoSDifferences:
+    def test_shape_and_positivity(self):
+        bounds = ml_pos_difference_bounds(100, 0.01)
+        assert bounds.shape == (100,)
+        assert np.all(bounds > 0)
+
+    def test_decreasing_in_i(self):
+        # Later blocks move the martingale less (stake dilution).
+        bounds = ml_pos_difference_bounds(100, 0.1)
+        assert np.all(np.diff(bounds) < 0)
+
+    def test_first_value(self):
+        # i=1: (1 + n w) w / (1 + w).
+        n, w = 50, 0.2
+        bounds = ml_pos_difference_bounds(n, w)
+        assert bounds[0] == pytest.approx((1 + n * w) * w / (1 + w))
+
+
+class TestMLPoSDeviationBound:
+    def test_matches_theorem_form(self):
+        # min(1, 2 exp(-2 g^2 / (w^2 (1 + n w) n))).
+        n, w, g = 1000, 0.01, 1.5
+        expected = min(1.0, 2 * math.exp(-2 * g**2 / (w**2 * (1 + n * w) * n)))
+        assert ml_pos_deviation_bound(n, w, g) == pytest.approx(expected)
+        assert ml_pos_deviation_bound(n, w, 0.01) == 1.0  # capped
+
+    def test_theorem_43_consistency(self):
+        # When 1/n + w <= 2 a^2 e^2 / ln(2/delta), the bound at
+        # gamma = n w a e must be <= delta.
+        a, eps, delta = 0.2, 0.1, 0.1
+        budget = 2 * a**2 * eps**2 / math.log(2 / delta)
+        w = budget / 2
+        n = int(math.ceil(1 / (budget - w))) + 1
+        assert 1 / n + w <= budget
+        gamma = n * w * a * eps
+        assert ml_pos_deviation_bound(n, w, gamma) <= delta
+
+    def test_large_reward_never_certifies(self):
+        # w = 0.01 at a=0.2, eps=delta=0.1 exceeds the budget; the bound
+        # stays above delta for any horizon (the Figure 3b plateau).
+        for n in (10**3, 10**5, 10**7):
+            gamma = n * 0.01 * 0.2 * 0.1
+            assert ml_pos_deviation_bound(n, 0.01, gamma) > 0.1
+
+
+class TestCPoSDeviationBound:
+    def test_degenerates_to_ml_pos(self):
+        # v -> 0, P = 1 recovers the ML-PoS bound.
+        n, w, g = 500, 0.02, 0.3
+        c_pos = c_pos_deviation_bound(n, 1, w, 1e-15, g)
+        ml = ml_pos_deviation_bound(n, w, g)
+        assert c_pos == pytest.approx(ml, rel=1e-6)
+
+    def test_shards_tighten(self):
+        args = (1000, 0.01, 0.1, 0.5)
+        n, w, v, g = args
+        assert c_pos_deviation_bound(n, 32, w, v, g) < c_pos_deviation_bound(
+            n, 1, w, v, g
+        )
+
+    def test_theorem_410_consistency(self):
+        # Paper setting w=0.01, v=0.1, P=32, a=0.2: the sufficient
+        # condition holds for large n and the bound confirms it.
+        a, eps, delta = 0.2, 0.1, 0.1
+        w, v, shards, n = 0.01, 0.1, 32, 10_000
+        budget = 2 * a**2 * eps**2 / math.log(2 / delta)
+        lhs = w**2 * (1 / n + w + v) / ((w + v) ** 2 * shards)
+        assert lhs <= budget
+        gamma = n * a * (w + v) * eps
+        assert c_pos_deviation_bound(n, shards, w, v, gamma) <= delta

@@ -1,0 +1,151 @@
+"""Tests for repro.theory.bounds (Theorems 4.2, 4.3, 4.10 calculators)."""
+
+import math
+
+import pytest
+
+from repro.theory.bounds import (
+    CPoSFairnessBound,
+    MLPoSFairnessBound,
+    PoWFairnessBound,
+    c_pos_is_sufficient,
+    c_pos_required_shards,
+    fairness_budget,
+    ml_pos_is_sufficient,
+    ml_pos_max_reward,
+    pow_required_blocks,
+)
+
+
+class TestFairnessBudget:
+    def test_paper_value(self):
+        # Section 5.2: 2 a^2 e^2 / ln(2/delta) ~ 0.00027 at a=0.2,
+        # eps=delta=0.1.
+        budget = fairness_budget(0.1, 0.1, 0.2)
+        assert budget == pytest.approx(0.000267, rel=0.01)
+
+    def test_grows_with_share(self):
+        assert fairness_budget(0.1, 0.1, 0.4) > fairness_budget(0.1, 0.1, 0.2)
+
+    def test_grows_with_epsilon(self):
+        assert fairness_budget(0.2, 0.1, 0.2) > fairness_budget(0.1, 0.1, 0.2)
+
+    def test_zero_epsilon_zero_budget(self):
+        assert fairness_budget(0.0, 0.1, 0.2) == 0.0
+
+    def test_delta_one_infinite(self):
+        assert math.isinf(fairness_budget(0.1, 1.0, 0.2))
+
+
+class TestPoWBound:
+    def test_required_blocks_matches_hoeffding(self):
+        from repro.theory.hoeffding import required_samples
+
+        bound = PoWFairnessBound(0.1, 0.1, 0.2)
+        assert bound.required_blocks() == required_samples(0.1, 0.1, 0.2)
+
+    def test_is_sufficient(self):
+        bound = PoWFairnessBound(0.1, 0.1, 0.2)
+        n = int(bound.required_blocks())
+        assert bound.is_sufficient(n)
+        assert not bound.is_sufficient(n - 1)
+
+    def test_zero_epsilon_unattainable(self):
+        bound = PoWFairnessBound(0.0, 0.1, 0.2)
+        assert math.isinf(bound.required_blocks())
+
+    def test_convenience_wrapper(self):
+        assert pow_required_blocks(0.1, 0.1, 0.2) == PoWFairnessBound(
+            0.1, 0.1, 0.2
+        ).required_blocks()
+
+
+class TestMLPoSBound:
+    def test_paper_example_insufficient(self):
+        # Section 5.2: w = 0.01 >> 0.00027 so no horizon certifies.
+        bound = MLPoSFairnessBound(0.1, 0.1, 0.2)
+        assert not bound.is_sufficient(10**9, 0.01)
+        assert math.isinf(bound.required_blocks(0.01))
+
+    def test_small_reward_sufficient(self):
+        bound = MLPoSFairnessBound(0.1, 0.1, 0.2)
+        n = bound.required_blocks(1e-5)
+        assert math.isfinite(n)
+        assert bound.is_sufficient(int(n), 1e-5)
+
+    def test_max_reward(self):
+        bound = MLPoSFairnessBound(0.1, 0.1, 0.2)
+        n = 100_000
+        w_max = bound.max_reward(n)
+        assert w_max == pytest.approx(bound.budget - 1.0 / n)
+        if w_max > 0:
+            assert bound.is_sufficient(n, w_max)
+
+    def test_condition_is_exactly_theorem_43(self):
+        bound = MLPoSFairnessBound(0.1, 0.1, 0.2)
+        n, w = 50_000, 1e-4
+        assert bound.is_sufficient(n, w) == (1 / n + w <= bound.budget)
+
+    def test_convenience_wrappers(self):
+        assert ml_pos_is_sufficient(0.1, 0.1, 0.2, 10**6, 1e-5)
+        assert ml_pos_max_reward(0.1, 0.1, 0.2, 10**6) > 0
+
+
+class TestCPoSBound:
+    def test_paper_setting_sufficient(self):
+        # w=0.01, v=0.1, P=32, a=0.2: robust fairness achievable.
+        bound = CPoSFairnessBound(0.1, 0.1, 0.2)
+        assert bound.is_sufficient(10_000, 32, 0.01, 0.1)
+
+    def test_degenerates_to_ml_pos(self):
+        # v=0, P=1: LHS = w^2 (1/n + w) / w^2 = 1/n + w.
+        n, w = 1000, 0.005
+        lhs = CPoSFairnessBound.lhs(n, 1, w, 0.0)
+        assert lhs == pytest.approx(1 / n + w)
+
+    def test_lhs_decreases_with_inflation(self):
+        n, shards, w = 1000, 32, 0.01
+        assert CPoSFairnessBound.lhs(n, shards, w, 0.1) < CPoSFairnessBound.lhs(
+            n, shards, w, 0.01
+        )
+
+    def test_lhs_decreases_with_shards(self):
+        n, w, v = 1000, 0.01, 0.1
+        assert CPoSFairnessBound.lhs(n, 64, w, v) < CPoSFairnessBound.lhs(
+            n, 8, w, v
+        )
+
+    def test_required_blocks_finite_for_paper_setting(self):
+        bound = CPoSFairnessBound(0.1, 0.1, 0.2)
+        n = bound.required_blocks(32, 0.01, 0.1)
+        assert math.isfinite(n)
+        assert bound.is_sufficient(int(n), 32, 0.01, 0.1)
+        assert not bound.is_sufficient(max(1, int(n) - 1), 32, 0.01, 0.1)
+
+    def test_required_shards(self):
+        bound = CPoSFairnessBound(0.1, 0.1, 0.2)
+        shards = bound.required_shards(10_000, 0.01, 0.1)
+        assert math.isfinite(shards)
+        assert bound.is_sufficient(10_000, int(shards), 0.01, 0.1)
+        if shards > 1:
+            assert not bound.is_sufficient(10_000, int(shards) - 1, 0.01, 0.1)
+
+    def test_convenience_wrappers(self):
+        assert c_pos_is_sufficient(0.1, 0.1, 0.2, 10_000, 32, 0.01, 0.1)
+        assert c_pos_required_shards(0.1, 0.1, 0.2, 10_000, 0.01, 0.1) >= 1
+
+
+class TestProtocolRanking:
+    def test_paper_ranking_pow_cpos_mlpos(self):
+        """The paper ranks PoW > C-PoS > ML-PoS (> SL-PoS) in fairness.
+
+        At the shared setting (a=0.2, w=0.01, eps=delta=0.1): PoW is
+        certified at a finite horizon; C-PoS (v=0.1, P=32) is certified
+        at a finite horizon; ML-PoS is never certified.
+        """
+        pow_bound = PoWFairnessBound(0.1, 0.1, 0.2)
+        ml_bound = MLPoSFairnessBound(0.1, 0.1, 0.2)
+        c_bound = CPoSFairnessBound(0.1, 0.1, 0.2)
+        assert math.isfinite(pow_bound.required_blocks())
+        assert math.isfinite(c_bound.required_blocks(32, 0.01, 0.1))
+        assert math.isinf(ml_bound.required_blocks(0.01))

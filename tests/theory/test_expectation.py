@@ -1,0 +1,105 @@
+"""Tests for repro.theory.expectation (Theorems 3.3/3.4/3.5 closed forms)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.expectation import (
+    c_pos_expected_reward_fraction,
+    c_pos_expected_stake,
+    ml_pos_expected_reward_fraction,
+    ml_pos_expected_stake,
+    pow_expected_reward_fraction,
+    sl_pos_first_block_win_probability,
+    sl_pos_two_block_expected_share,
+)
+
+
+class TestMLPoSExpectation:
+    def test_initial_stake(self):
+        assert ml_pos_expected_stake(0.2, 0.01, 0) == pytest.approx(0.2)
+
+    def test_closed_form(self):
+        # E[S_i] = a (1 + w i).
+        assert ml_pos_expected_stake(0.2, 0.01, 100) == pytest.approx(
+            0.2 * 2.0
+        )
+
+    def test_array_input(self):
+        values = ml_pos_expected_stake(0.3, 0.1, np.array([0, 10]))
+        np.testing.assert_allclose(values, [0.3, 0.6])
+
+    def test_reward_fraction_is_share(self):
+        # Theorem 3.3: E[lambda_A] = a for every horizon.
+        for n in (1, 10, 5000):
+            assert ml_pos_expected_reward_fraction(
+                0.2, 0.01, n
+            ) == pytest.approx(0.2)
+
+    def test_share_preserved_in_expectation(self):
+        # E[S_i] / total stake stays exactly a.
+        share, reward, n = 0.35, 0.02, 500
+        expected = ml_pos_expected_stake(share, reward, n)
+        assert expected / (1 + reward * n) == pytest.approx(share)
+
+
+class TestCPoSExpectation:
+    def test_closed_form(self):
+        # E[S_i] = a (1 + (w + v) i).
+        assert c_pos_expected_stake(0.2, 0.01, 0.1, 50) == pytest.approx(
+            0.2 * (1 + 0.11 * 50)
+        )
+
+    def test_reward_fraction_is_share(self):
+        for n in (1, 100, 10_000):
+            assert c_pos_expected_reward_fraction(
+                0.2, 0.01, 0.1, n
+            ) == pytest.approx(0.2)
+
+    def test_zero_inflation_matches_ml_pos(self):
+        assert c_pos_expected_stake(0.2, 0.01, 0.0, 77) == pytest.approx(
+            ml_pos_expected_stake(0.2, 0.01, 77)
+        )
+
+
+class TestPoWExpectation:
+    def test_share(self):
+        assert pow_expected_reward_fraction(0.2, 100) == 0.2
+
+
+class TestSLPoSExpectation:
+    def test_first_block_unfair(self):
+        # Theorem 3.4: E[X_1] = a / (2 (1-a)) < a for a < 1/2.
+        assert sl_pos_first_block_win_probability(0.2) == pytest.approx(0.125)
+        assert sl_pos_first_block_win_probability(0.2) < 0.2
+
+    def test_fair_at_half(self):
+        assert sl_pos_first_block_win_probability(0.5) == pytest.approx(0.5)
+
+    def test_rich_branch(self):
+        assert sl_pos_first_block_win_probability(0.8) == pytest.approx(
+            1 - 0.2 / 1.6
+        )
+
+    def test_expected_share_decreases_for_poor(self):
+        # E[Z_1] < a when a < 1/2: the drift is already visible after
+        # one block.
+        for share in (0.1, 0.2, 0.4):
+            assert sl_pos_two_block_expected_share(share, 0.01) < share
+
+    def test_expected_share_increases_for_rich(self):
+        for share in (0.6, 0.8, 0.9):
+            assert sl_pos_two_block_expected_share(share, 0.01) > share
+
+    def test_expected_share_fixed_at_half(self):
+        assert sl_pos_two_block_expected_share(0.5, 0.01) == pytest.approx(0.5)
+
+    def test_matches_simulation(self, rng):
+        # One-block simulation of the deadline race vs the closed form.
+        share, reward, trials = 0.2, 0.1, 200_000
+        stakes = np.array([share, 1 - share])
+        uniforms = rng.random((trials, 2))
+        winners = np.argmin(uniforms / stakes, axis=1)
+        new_share = (share + reward * (winners == 0)) / (1 + reward)
+        assert new_share.mean() == pytest.approx(
+            sl_pos_two_block_expected_share(share, reward), abs=5e-4
+        )

@@ -1,0 +1,89 @@
+"""Tests for repro.theory.hoeffding (Theorem 4.2 machinery)."""
+
+import math
+
+import pytest
+
+from repro.theory.hoeffding import (
+    achievable_delta,
+    achievable_epsilon,
+    hoeffding_tail,
+    hoeffding_two_sided,
+    required_samples,
+)
+
+
+class TestHoeffdingTail:
+    def test_formula(self):
+        # exp(-2 * 100 * 0.1^2) = exp(-2)
+        assert hoeffding_tail(100, 0.1) == pytest.approx(math.exp(-2.0))
+
+    def test_zero_deviation_is_one(self):
+        assert hoeffding_tail(100, 0.0) == 1.0
+
+    def test_monotone_in_n(self):
+        assert hoeffding_tail(1000, 0.1) < hoeffding_tail(100, 0.1)
+
+    def test_monotone_in_t(self):
+        assert hoeffding_tail(100, 0.2) < hoeffding_tail(100, 0.1)
+
+    def test_custom_range(self):
+        # Wider range weakens the bound.
+        assert hoeffding_tail(100, 0.1, low=-1, high=1) > hoeffding_tail(
+            100, 0.1
+        )
+
+    def test_two_sided_doubles(self):
+        one = hoeffding_tail(50, 0.05)
+        assert hoeffding_two_sided(50, 0.05) == pytest.approx(
+            min(1.0, 2 * one)
+        )
+
+    def test_capped_at_one(self):
+        assert hoeffding_two_sided(1, 0.01) == 1.0
+
+
+class TestRequiredSamples:
+    def test_paper_figure2_setting(self):
+        # a = 0.2, eps = 0.1, delta = 0.1: n >= ln(20)/(2*0.04*0.01) ~ 3745.
+        n = required_samples(0.1, 0.1, 0.2)
+        assert n == math.ceil(math.log(20) / (2 * 0.2**2 * 0.1**2))
+        assert 3700 < n < 3800
+
+    def test_bound_actually_suffices(self):
+        n = required_samples(0.1, 0.1, 0.2)
+        assert achievable_delta(n, 0.1, 0.2) <= 0.1
+
+    def test_one_less_does_not_certify(self):
+        n = required_samples(0.1, 0.1, 0.2)
+        assert achievable_delta(n - 1, 0.1, 0.2) > 0.1
+
+    def test_richer_miner_needs_fewer_blocks(self):
+        assert required_samples(0.1, 0.1, 0.3) < required_samples(
+            0.1, 0.1, 0.1
+        )
+
+    def test_rejects_zero_epsilon(self):
+        with pytest.raises(ValueError):
+            required_samples(0.0, 0.1, 0.2)
+
+    def test_rejects_zero_delta(self):
+        with pytest.raises(ValueError):
+            required_samples(0.1, 0.0, 0.2)
+
+
+class TestInverses:
+    def test_achievable_epsilon_round_trip(self):
+        n = 5000
+        eps = achievable_epsilon(n, 0.1, 0.2)
+        assert achievable_delta(n, eps, 0.2) == pytest.approx(0.1)
+
+    def test_achievable_epsilon_shrinks_with_n(self):
+        assert achievable_epsilon(10_000, 0.1, 0.2) < achievable_epsilon(
+            1_000, 0.1, 0.2
+        )
+
+    def test_achievable_delta_monotone(self):
+        assert achievable_delta(2000, 0.1, 0.2) < achievable_delta(
+            500, 0.1, 0.2
+        )

@@ -1,0 +1,155 @@
+"""Tests for repro.theory.mean_field."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.theory.mean_field import (
+    blocks_from_log_time,
+    log_time_from_blocks,
+    mean_field_trajectory,
+    sl_pos_log_time,
+    sl_pos_mean_field_share,
+)
+from repro.theory.stochastic_approximation import sl_pos_drift
+
+
+class TestLogTime:
+    def test_round_trip(self):
+        for blocks in (0, 10, 1000, 10**5):
+            u = log_time_from_blocks(blocks, 0.01)
+            assert blocks_from_log_time(u, 0.01) == pytest.approx(blocks)
+
+    def test_zero_blocks(self):
+        assert log_time_from_blocks(0, 0.5) == 0.0
+
+    def test_small_reward_slows_the_clock(self):
+        # u = ln(1 + n w) ~ n w for small w: less drift time per block.
+        assert log_time_from_blocks(100, 1e-6) == pytest.approx(
+            1e-4, rel=1e-3
+        )
+        assert log_time_from_blocks(100, 0.1) > log_time_from_blocks(
+            100, 0.01
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_time_from_blocks(-1, 0.01)
+        with pytest.raises(ValueError):
+            blocks_from_log_time(-1, 0.01)
+
+
+class TestClosedFormLogTime:
+    def test_matches_numeric_integration(self):
+        # u(0.2 -> 0.1) from the closed form vs quadrature of 1/f.
+        from scipy.integrate import quad
+
+        closed = sl_pos_log_time(0.2, 0.1)
+        numeric, _ = quad(lambda z: 1.0 / sl_pos_drift(z), 0.2, 0.1)
+        assert closed == pytest.approx(numeric, rel=1e-6)
+
+    def test_positive_and_additive(self):
+        first = sl_pos_log_time(0.3, 0.2)
+        second = sl_pos_log_time(0.2, 0.1)
+        combined = sl_pos_log_time(0.3, 0.1)
+        assert first > 0 and second > 0
+        assert combined == pytest.approx(first + second, rel=1e-9)
+
+    def test_diverges_towards_zero(self):
+        assert sl_pos_log_time(0.2, 1e-6) > sl_pos_log_time(0.2, 1e-3) + 10
+
+    def test_rejects_wrong_ordering(self):
+        with pytest.raises(ValueError):
+            sl_pos_log_time(0.1, 0.2)
+        with pytest.raises(ValueError):
+            sl_pos_log_time(0.6, 0.1)
+
+
+class TestTrajectoryIntegration:
+    def test_fixed_points_are_static(self):
+        grid = np.array([1.0, 5.0, 20.0])
+        half = mean_field_trajectory(
+            lambda z: float(sl_pos_drift(z)), 0.5, grid
+        )
+        np.testing.assert_allclose(half, 0.5, atol=1e-9)
+
+    def test_decay_below_half(self):
+        grid = np.array([1.0, 3.0, 10.0])
+        path = mean_field_trajectory(
+            lambda z: float(sl_pos_drift(z)), 0.3, grid
+        )
+        assert path[0] < 0.3
+        assert np.all(np.diff(path) < 0)
+
+    def test_growth_above_half(self):
+        grid = np.array([1.0, 3.0, 10.0])
+        path = mean_field_trajectory(
+            lambda z: float(sl_pos_drift(z)), 0.7, grid
+        )
+        assert np.all(np.diff(path) > 0)
+        assert path[-1] > 0.9
+
+    def test_matches_closed_form(self):
+        # Integrate to exactly the closed-form log-time for 0.2 -> 0.1
+        # and check we land on 0.1.
+        u = sl_pos_log_time(0.2, 0.1)
+        path = mean_field_trajectory(
+            lambda z: float(sl_pos_drift(z)), 0.2, np.array([u]),
+            max_step=0.001,
+        )
+        assert path[0] == pytest.approx(0.1, abs=1e-4)
+
+    def test_rejects_bad_grid(self):
+        drift = lambda z: 0.0  # noqa: E731
+        with pytest.raises(ValueError):
+            mean_field_trajectory(drift, 0.5, np.array([]))
+        with pytest.raises(ValueError):
+            mean_field_trajectory(drift, 0.5, np.array([2.0, 1.0]))
+
+
+class TestSLPoSMeanFieldShare:
+    def test_initial_value(self):
+        assert sl_pos_mean_field_share(0.2, 0.01, 0) == pytest.approx(0.2)
+
+    def test_scalar_and_array(self):
+        scalar = sl_pos_mean_field_share(0.2, 0.01, 100)
+        array = sl_pos_mean_field_share(0.2, 0.01, [100, 200])
+        assert scalar == pytest.approx(array[0])
+        assert array[1] < array[0]
+
+    def test_unsorted_blocks_handled(self):
+        values = sl_pos_mean_field_share(0.2, 0.01, [500, 100, 300])
+        assert values[1] > values[2] > values[0]
+
+    def test_typical_path_below_ensemble_mean(self):
+        """Lucky trials dominate the ensemble mean, so the mean-field
+        (typical) share must sit below the simulated mean share."""
+        from repro.core.miners import Allocation
+        from repro.protocols.sl_pos import SingleLotteryPoS
+        from repro.sim.engine import simulate
+
+        horizon, reward = 2000, 0.05
+        result = simulate(
+            SingleLotteryPoS(reward), Allocation.two_miners(0.3),
+            horizon, trials=1000, seed=9,
+        )
+        simulated_mean_share = result.terminal_stake_shares()[:, 0].mean()
+        typical = sl_pos_mean_field_share(0.3, reward, horizon)
+        assert typical < simulated_mean_share
+
+    def test_tracks_early_simulation(self):
+        """Before fluctuations accumulate, the fluid limit tracks the
+        simulated mean share closely."""
+        from repro.core.miners import Allocation
+        from repro.protocols.sl_pos import SingleLotteryPoS
+        from repro.sim.engine import simulate
+
+        horizon, reward = 100, 0.01
+        result = simulate(
+            SingleLotteryPoS(reward), Allocation.two_miners(0.2),
+            horizon, trials=4000, seed=10,
+        )
+        simulated = result.terminal_stake_shares()[:, 0].mean()
+        typical = sl_pos_mean_field_share(0.2, reward, horizon)
+        assert typical == pytest.approx(simulated, abs=0.01)

@@ -1,0 +1,163 @@
+"""Tests for repro.theory.win_probability (Section 2 laws, Lemma 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.theory.win_probability import (
+    c_pos_expected_reward_fractions,
+    fsl_pos_win_probabilities,
+    ml_pos_tie_probability,
+    ml_pos_win_probabilities,
+    ml_pos_win_probability_exact,
+    pow_win_probabilities,
+    sl_pos_win_probabilities,
+    sl_pos_win_probabilities_quadrature,
+    sl_pos_win_probability_two_miners,
+)
+
+
+class TestPoW:
+    def test_proportional(self):
+        np.testing.assert_allclose(
+            pow_win_probabilities([2.0, 8.0]), [0.2, 0.8]
+        )
+
+    def test_scale_invariant(self):
+        np.testing.assert_allclose(
+            pow_win_probabilities([1, 4]), pow_win_probabilities([100, 400])
+        )
+
+    def test_multi_miner_sums_to_one(self):
+        probabilities = pow_win_probabilities([1, 2, 3, 4])
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            pow_win_probabilities([0.0, 1.0])
+
+
+class TestMLPoS:
+    def test_exact_formula(self):
+        # Paper Section 2.2: (p_a - p_a p_b / 2) / (p_a + p_b - p_a p_b)
+        p_a, p_b = 0.1, 0.3
+        expected = (p_a - p_a * p_b / 2) / (p_a + p_b - p_a * p_b)
+        assert ml_pos_win_probability_exact(p_a, p_b) == pytest.approx(expected)
+
+    def test_exact_plus_mirror_plus_tie_is_one(self):
+        p_a, p_b = 0.07, 0.19
+        total = (
+            ml_pos_win_probability_exact(p_a, p_b)
+            + ml_pos_win_probability_exact(p_b, p_a)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_small_p_limit_is_proportional(self):
+        # With p ~ 1/1200 the tie-corrected law matches S_A/(S_A+S_B)
+        # to within O(p).
+        scale = 1.0 / 1200.0
+        exact = ml_pos_win_probability_exact(scale * 0.4, scale * 1.6)
+        assert exact == pytest.approx(0.2, abs=2 * scale)
+
+    def test_proportional_law(self):
+        np.testing.assert_allclose(
+            ml_pos_win_probabilities([0.2, 0.8]), [0.2, 0.8]
+        )
+
+    def test_tie_probability_formula(self):
+        p_a, p_b = 0.2, 0.5
+        expected = p_a * p_b / (p_a + p_b - p_a * p_b)
+        assert ml_pos_tie_probability(p_a, p_b) == pytest.approx(expected)
+
+    def test_rejects_p_above_one(self):
+        with pytest.raises(ValueError):
+            ml_pos_win_probability_exact(1.5, 0.2)
+
+
+class TestSLPoSTwoMiners:
+    def test_equation_one(self):
+        # Pr[A wins] = S_A / (2 S_B) for S_A <= S_B (Eq. 1).
+        assert sl_pos_win_probability_two_miners(0.2, 0.8) == pytest.approx(
+            0.125
+        )
+
+    def test_symmetric_half(self):
+        assert sl_pos_win_probability_two_miners(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_rich_side(self):
+        # Complementary branch: 1 - S_B / (2 S_A).
+        assert sl_pos_win_probability_two_miners(0.8, 0.2) == pytest.approx(
+            1 - 0.125
+        )
+
+    def test_below_proportional_for_small_miner(self):
+        # Section 2.3 discussion: S_A/(2 S_B) < S_A/(S_A+S_B) when S_A < S_B.
+        p = sl_pos_win_probability_two_miners(0.3, 0.7)
+        assert p < 0.3
+
+    def test_tiny_miner_half_of_proportional(self):
+        # S_A << S_B: p ~= (1/2) * S_A / (S_A + S_B).
+        p = sl_pos_win_probability_two_miners(0.001, 0.999)
+        assert p == pytest.approx(0.5 * 0.001 / 1.0, rel=0.01)
+
+
+class TestSLPoSMultiMiner:
+    def test_matches_two_miner_formula(self):
+        probabilities = sl_pos_win_probabilities([0.2, 0.8])
+        assert probabilities[0] == pytest.approx(0.125, rel=1e-9)
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_equal_stakes_are_uniform(self):
+        # Lemma 6.1: proportionality holds iff all stakes are equal.
+        probabilities = sl_pos_win_probabilities([0.25] * 4)
+        np.testing.assert_allclose(probabilities, 0.25)
+
+    def test_small_miners_below_proportional(self):
+        # Lemma 6.1: any miner below the maximum is under-rewarded.
+        shares = np.array([0.1, 0.2, 0.3, 0.4])
+        probabilities = sl_pos_win_probabilities(shares)
+        assert np.all(probabilities[:-1] < shares[:-1])
+        assert probabilities[-1] > shares[-1]
+
+    def test_matches_quadrature(self):
+        shares = [0.1, 0.15, 0.25, 0.5]
+        exact = sl_pos_win_probabilities(shares)
+        quad = sl_pos_win_probabilities_quadrature(shares)
+        np.testing.assert_allclose(exact, quad, atol=1e-6)
+
+    def test_matches_monte_carlo(self, rng):
+        shares = np.array([0.2, 0.3, 0.5])
+        exact = sl_pos_win_probabilities(shares)
+        # Direct simulation of the deadline race.
+        uniforms = rng.random((200_000, 3))
+        winners = np.argmin(uniforms / shares, axis=1)
+        empirical = np.bincount(winners, minlength=3) / winners.size
+        np.testing.assert_allclose(exact, empirical, atol=5e-3)
+
+    def test_permutation_equivariance(self):
+        base = sl_pos_win_probabilities([0.1, 0.3, 0.6])
+        permuted = sl_pos_win_probabilities([0.6, 0.1, 0.3])
+        np.testing.assert_allclose(
+            sorted(base), sorted(permuted), atol=1e-12
+        )
+
+
+class TestFSLPoS:
+    def test_proportional(self):
+        np.testing.assert_allclose(
+            fsl_pos_win_probabilities([0.2, 0.8]), [0.2, 0.8]
+        )
+
+    def test_multi_miner(self):
+        shares = [0.1, 0.2, 0.7]
+        np.testing.assert_allclose(fsl_pos_win_probabilities(shares), shares)
+
+
+class TestCPoS:
+    def test_expected_fraction_is_share(self):
+        # Theorem 3.5's core identity: reward split does not matter.
+        fractions = c_pos_expected_reward_fractions([0.2, 0.8], 0.01, 0.1)
+        np.testing.assert_allclose(fractions, [0.2, 0.8])
+
+    def test_rejects_negative_rewards(self):
+        with pytest.raises(ValueError):
+            c_pos_expected_reward_fractions([0.5, 0.5], -0.1, 0.2)

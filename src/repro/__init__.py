@@ -17,6 +17,8 @@ The package provides:
 * a vectorised Monte Carlo engine (:mod:`repro.sim`);
 * a node-level blockchain substrate standing in for the paper's
   Geth/Qtum/NXT testbeds (:mod:`repro.chainsim`);
+* sharded parallel execution and a content-addressed result cache
+  (:mod:`repro.runtime`);
 * runnable reproductions of every figure and table
   (:mod:`repro.experiments`).
 
@@ -31,7 +33,7 @@ Quickstart
 True
 """
 
-from . import analysis, core, protocols, sim, theory
+from . import analysis, core, protocols, runtime, sim, theory
 from .core import (
     Allocation,
     EnsembleResult,
@@ -42,16 +44,21 @@ from .core import (
     RobustFairness,
     predict,
 )
+from .runtime import ParallelRunner, ResultCache, SimulationSpec
 from .sim import MonteCarloEngine, RandomSource, simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
     "core",
     "protocols",
+    "runtime",
     "sim",
     "theory",
+    "ParallelRunner",
+    "ResultCache",
+    "SimulationSpec",
     "Allocation",
     "EnsembleResult",
     "ExpectationalFairness",

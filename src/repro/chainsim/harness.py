@@ -181,7 +181,30 @@ class SystemExperiment:
 
         ``rounds`` counts blocks for pow/ml-pos/sl-pos/fsl-pos and
         epochs for c-pos, matching the paper's axes.
+
+        When an ambient :class:`~repro.runtime.ParallelRunner` is
+        configured (the CLI's ``--workers``/``--cache`` flags), the
+        repeats are sharded/cached through it; otherwise they run
+        serially in-process.
         """
+        from ..runtime.context import get_default_runtime
+
+        runtime = get_default_runtime()
+        if runtime is not None:
+            return runtime.run_system(
+                self, rounds, repeats, checkpoints=checkpoints, seed=seed
+            )
+        return self._run_serial(rounds, repeats, checkpoints=checkpoints, seed=seed)
+
+    def _run_serial(
+        self,
+        rounds: int,
+        repeats: int = 10,
+        *,
+        checkpoints: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+    ) -> EnsembleResult:
+        """The in-process execution path (also the per-shard worker body)."""
         rounds = ensure_positive_int("rounds", rounds)
         repeats = ensure_positive_int("repeats", repeats)
         if checkpoints is None:

@@ -218,8 +218,36 @@ class MiningGame:
         *,
         checkpoints: Optional[Sequence[int]] = None,
         seed=None,
+        workers: int = 1,
+        cache=None,
     ) -> EnsembleResult:
-        """Run the Monte Carlo engine and return the raw ensemble result."""
+        """Run the Monte Carlo engine and return the raw ensemble result.
+
+        ``workers`` > 1 shards the ensemble across processes via
+        :class:`repro.runtime.ParallelRunner`; ``cache`` (a directory
+        or :class:`repro.runtime.ResultCache`) memoises the merged
+        result under the spec's content address.
+
+        .. note::
+           Setting either knob switches to the *sharded* random-stream
+           layout: results are bit-identical across any ``workers``
+           count (and across cache hits) but not bit-identical to the
+           plain single-stream run without these knobs — the ensembles
+           are statistically identical, the per-trial draws differ.
+        """
+        if workers > 1 or cache is not None:
+            from ..runtime.runner import ParallelRunner
+            from ..runtime.spec import SimulationSpec
+
+            spec = SimulationSpec(
+                protocol=self.protocol,
+                allocation=self.allocation,
+                trials=trials,
+                horizon=horizon,
+                checkpoints=None if checkpoints is None else tuple(checkpoints),
+                seed=seed,
+            )
+            return ParallelRunner(workers=workers, cache=cache).run(spec)
         from ..sim.engine import MonteCarloEngine
 
         engine = MonteCarloEngine(
@@ -236,9 +264,18 @@ class MiningGame:
         delta: float = DEFAULT_DELTA,
         checkpoints: Optional[Sequence[int]] = None,
         seed=None,
+        workers: int = 1,
+        cache=None,
     ) -> FairnessReport:
         """Simulate and return a full fairness report for the focal miner."""
-        result = self.simulate(horizon, trials, checkpoints=checkpoints, seed=seed)
+        result = self.simulate(
+            horizon,
+            trials,
+            checkpoints=checkpoints,
+            seed=seed,
+            workers=workers,
+            cache=cache,
+        )
         share = self.allocation.focal_share
         return FairnessReport(
             protocol_name=self.protocol.name,

@@ -143,6 +143,56 @@ class EnsembleResult:
             raise ValueError("round_unit must be 'block' or 'epoch'")
         self.round_unit = round_unit
 
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def merge(cls, results: Sequence["EnsembleResult"]) -> "EnsembleResult":
+        """Concatenate shard results into one ensemble, in the given order.
+
+        All parts must describe the same game: identical protocol
+        name, allocation, checkpoints, and round unit; terminal stakes
+        must be recorded by all parts or by none.  Trials concatenate
+        along axis 0, so merging is exact — the merged ensemble is
+        bit-identical no matter how the parts were distributed across
+        workers, as long as their order is fixed.
+        """
+        parts = list(results)
+        if not parts:
+            raise ValueError("cannot merge an empty sequence of results")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.protocol_name != first.protocol_name:
+                raise ValueError(
+                    f"cannot merge results of different protocols: "
+                    f"{first.protocol_name!r} vs {part.protocol_name!r}"
+                )
+            if part.allocation != first.allocation:
+                raise ValueError("cannot merge results of different allocations")
+            if not np.array_equal(part.checkpoints, first.checkpoints):
+                raise ValueError("cannot merge results of different checkpoints")
+            if part.round_unit != first.round_unit:
+                raise ValueError("cannot merge results of different round units")
+        recorded = [part.terminal_stakes is not None for part in parts]
+        if any(recorded) and not all(recorded):
+            raise ValueError(
+                "cannot merge results that disagree on terminal stake recording"
+            )
+        terminal = (
+            np.concatenate([part.terminal_stakes for part in parts], axis=0)
+            if all(recorded)
+            else None
+        )
+        return cls(
+            protocol_name=first.protocol_name,
+            allocation=first.allocation,
+            checkpoints=first.checkpoints,
+            reward_fractions=np.concatenate(
+                [part.reward_fractions for part in parts], axis=0
+            ),
+            terminal_stakes=terminal,
+            round_unit=first.round_unit,
+        )
+
     # -- basic accessors --------------------------------------------------
 
     @property

@@ -56,8 +56,27 @@ def run_simulation(
     source: RandomSource,
     checkpoints: Optional[Sequence[int]] = None,
 ) -> EnsembleResult:
-    """Run one Monte Carlo configuration on a child random stream."""
-    engine = MonteCarloEngine(
-        protocol, allocation, trials=trials, seed=source.spawn_one()
-    )
+    """Run one Monte Carlo configuration on a child random stream.
+
+    When an ambient :class:`~repro.runtime.ParallelRunner` is
+    configured (``--workers``/``--cache``), the ensemble is sharded
+    and cached through it; otherwise it runs in-process.  Either way
+    exactly one child stream of ``source`` is consumed.
+    """
+    from ..runtime.context import get_default_runtime
+    from ..runtime.spec import SimulationSpec
+
+    seed = source.spawn_one()
+    runtime = get_default_runtime()
+    if runtime is not None:
+        spec = SimulationSpec(
+            protocol=protocol,
+            allocation=allocation,
+            trials=trials,
+            horizon=horizon,
+            checkpoints=None if checkpoints is None else tuple(checkpoints),
+            seed=seed,
+        )
+        return runtime.run(spec)
+    engine = MonteCarloEngine(protocol, allocation, trials=trials, seed=seed)
     return engine.run(horizon, checkpoints)

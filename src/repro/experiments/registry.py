@@ -107,6 +107,23 @@ def get_experiment(key: str) -> Experiment:
         ) from None
 
 
-def run_experiment(key: str, preset: Preset = DEFAULT, seed: Optional[int] = None):
-    """Resolve and run an experiment with the given preset."""
-    return get_experiment(key).run_with_preset(preset, seed)
+def run_experiment(
+    key: str,
+    preset: Preset = DEFAULT,
+    seed: Optional[int] = None,
+    *,
+    runtime=None,
+):
+    """Resolve and run an experiment with the given preset.
+
+    ``runtime`` (a :class:`~repro.runtime.ParallelRunner`) scopes
+    sharded parallel execution and result caching over the run; None
+    keeps whatever ambient runtime is already configured.
+    """
+    experiment = get_experiment(key)
+    if runtime is None:
+        return experiment.run_with_preset(preset, seed)
+    from ..runtime import using_runtime
+
+    with using_runtime(runtime):
+        return experiment.run_with_preset(preset, seed)

@@ -21,6 +21,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..runtime import ParallelRunner, using_runtime
 from .config import get_preset
 from .registry import EXPERIMENTS, get_experiment
 
@@ -62,6 +63,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write <experiment>.json series into DIR",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan Monte Carlo / system ensembles out over N processes "
+        "(sharded runs are reproducible across any N, but use a "
+        "different stream layout than the plain serial path)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache; reruns of an identical "
+        "spec load instead of simulating",
+    )
     return parser
 
 
@@ -83,6 +101,18 @@ def _run_one(key: str, preset, seed: Optional[int], json_dir) -> str:
     return f"{banner}\n{text}\n"
 
 
+def _build_runtime(args) -> Optional[ParallelRunner]:
+    """The ParallelRunner the CLI flags ask for, or None for the old path."""
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.workers == 1 and args.cache is None:
+        return None
+    try:
+        return ParallelRunner(workers=args.workers, cache=args.cache)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -91,8 +121,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.no_system:
         preset = preset.with_system(False)
     keys = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for key in keys:
-        print(_run_one(key, preset, args.seed, args.json))
+    with using_runtime(_build_runtime(args)):
+        for key in keys:
+            print(_run_one(key, preset, args.seed, args.json))
     return 0
 
 

@@ -1,0 +1,64 @@
+"""Sharded parallel execution and result caching.
+
+The paper's evaluation is dominated by embarrassingly parallel work:
+10,000-repeat Monte Carlo ensembles (:mod:`repro.sim`) and
+hundreds-of-repeats node-level system runs (:mod:`repro.chainsim`).
+This package provides the execution substrate that fans that work out
+across processes and memoises finished results:
+
+spec
+    :class:`SimulationSpec` / :class:`SystemSpec` — immutable,
+    picklable descriptions of one ensemble run, plus the canonical
+    fingerprint used as the cache key.
+sharding
+    Deterministic splitting of a spec into per-worker shards whose
+    seeds derive from :meth:`RandomSource.spawn`, so the merged result
+    is bit-identical for any worker count given a fixed shard plan.
+executor
+    The :class:`Executor` protocol with serial and
+    :mod:`multiprocessing` backends, including progress and error
+    aggregation.
+cache
+    :class:`ResultCache` — content-addressed ``.npz`` storage layered
+    on :mod:`repro.sim.persistence`.
+runner
+    :class:`ParallelRunner` — plan, fan out, merge, cache.
+context
+    An ambient default runtime consulted by the experiment layer so
+    ``--workers``/``--cache`` flags reach every figure without
+    threading arguments through each config.
+"""
+
+from .cache import ResultCache
+from .context import get_default_runtime, set_default_runtime, using_runtime
+from .executor import (
+    Executor,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ShardExecutionError,
+    make_executor,
+)
+from .runner import ParallelRunner
+from .sharding import DEFAULT_SHARD_COUNT, Shard, ShardPlan, plan_shards, split_evenly
+from .spec import SimulationSpec, SystemSpec, spec_fingerprint
+
+__all__ = [
+    "ResultCache",
+    "get_default_runtime",
+    "set_default_runtime",
+    "using_runtime",
+    "Executor",
+    "MultiprocessingExecutor",
+    "SerialExecutor",
+    "ShardExecutionError",
+    "make_executor",
+    "ParallelRunner",
+    "DEFAULT_SHARD_COUNT",
+    "Shard",
+    "ShardPlan",
+    "plan_shards",
+    "split_evenly",
+    "SimulationSpec",
+    "SystemSpec",
+    "spec_fingerprint",
+]

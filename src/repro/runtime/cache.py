@@ -1,0 +1,127 @@
+"""Content-addressed storage of merged ensemble results.
+
+The cache is a directory of ``<sha256>.npz`` artifacts written through
+:mod:`repro.sim.persistence`, keyed by the canonical fingerprint of
+the producing spec (:func:`repro.runtime.spec.spec_fingerprint`).
+Because the key covers every run parameter *and* the shard plan, a hit
+is guaranteed to be byte-equal to what re-running the spec would
+produce — repeated experiment invocations become a single ``.npz``
+load.
+
+Corrupt or truncated entries (e.g. a previous run killed mid-write)
+are treated as misses and evicted; writes go through a temp file and
+an atomic rename so readers never observe partial artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Optional, Union
+
+from ..core.results import EnsembleResult
+from ..sim.persistence import load_result, save_result
+
+__all__ = ["ResultCache"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`EnsembleResult` artifacts.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on first use.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.protocols import ProofOfWork
+    >>> from repro.core.miners import Allocation
+    >>> from repro.runtime import ParallelRunner, SimulationSpec
+    >>> spec = SimulationSpec(ProofOfWork(0.01), Allocation.two_miners(0.2),
+    ...                       trials=50, horizon=100, seed=7)
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     runner = ParallelRunner(cache=root)
+    ...     cold = runner.run(spec)   # simulates, stores
+    ...     warm = runner.run(spec)   # loads
+    ...     runner.cache.hits
+    1
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        if self.directory.exists() and not self.directory.is_dir():
+            raise ValueError(
+                f"cache path {str(self.directory)!r} exists and is not a directory"
+            )
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """The artifact path a fingerprint maps to."""
+        if not key or any(c in key for c in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.directory / f"{key}.npz"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def get(self, key: str) -> Optional[EnsembleResult]:
+        """Load the result stored under ``key``, or None on a miss.
+
+        Unreadable artifacts count as misses and are evicted so the
+        slot can be rewritten.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            result = load_result(path)
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: EnsembleResult) -> pathlib.Path:
+        """Store ``result`` under ``key``, atomically; returns the path.
+
+        Writes land in a ``.tmp`` subdirectory first so a killed run
+        can never leave a partial (or phantom) entry among the
+        artifacts, then move into place with an atomic rename.
+        """
+        path = self.path_for(key)
+        staging = self.directory / ".tmp"
+        staging.mkdir(parents=True, exist_ok=True)
+        temporary = staging / f"{key}-{os.getpid()}.npz"
+        written = save_result(result, temporary)
+        os.replace(written, path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every artifact (and staging leftovers); returns the
+        number of entries removed."""
+        removed = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.npz"):
+                path.unlink()
+                removed += 1
+            for path in self.directory.glob(".tmp/*.npz"):
+                path.unlink()
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.exists():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.npz"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,48 @@
+"""The ambient default runtime.
+
+Experiment configs are frozen dataclasses created in many places; the
+CLI's ``--workers``/``--cache`` flags would otherwise have to thread
+through every one of them.  Instead the CLI installs a process-wide
+default :class:`~repro.runtime.runner.ParallelRunner`, and the two
+execution chokepoints — :func:`repro.experiments._common.run_simulation`
+and :meth:`repro.chainsim.harness.SystemExperiment.run` — consult it.
+
+The default is deliberately *not* consulted by shard workers: worker
+entry points call the serial engine paths directly, so a forked child
+that inherited a configured runtime cannot recurse into a new pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+__all__ = ["get_default_runtime", "set_default_runtime", "using_runtime"]
+
+_default_runtime = None
+
+
+def get_default_runtime():
+    """The ambient :class:`ParallelRunner`, or None when unconfigured."""
+    return _default_runtime
+
+
+def set_default_runtime(runner):
+    """Install ``runner`` (or None) as the ambient runtime.
+
+    Returns the previous runtime so callers can restore it.
+    """
+    global _default_runtime
+    previous = _default_runtime
+    _default_runtime = runner
+    return previous
+
+
+@contextlib.contextmanager
+def using_runtime(runner) -> Iterator[None]:
+    """Scope ``runner`` as the ambient runtime for a ``with`` block."""
+    previous = set_default_runtime(runner)
+    try:
+        yield
+    finally:
+        set_default_runtime(previous)

@@ -1,0 +1,178 @@
+"""Executor backends: one protocol, serial and multiprocessing engines.
+
+An executor maps a picklable task function over a list of tasks and
+returns the results *in task order* — the property the sharding layer
+relies on for bit-identical merges.  Failures are aggregated rather
+than raised at first error: every shard runs (or is drained), then a
+single :class:`ShardExecutionError` reports all failing shards with
+their tracebacks.
+
+The multiprocessing backend prefers the ``fork`` start method where
+available (cheap on Linux, and shard tasks are read-only after fork)
+and falls back to ``spawn`` elsewhere, which is why task functions
+must be module-level (picklable by reference).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .._validation import ensure_positive_int
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "ShardExecutionError",
+    "make_executor",
+]
+
+#: Progress callback signature: ``callback(completed, total)``.
+ProgressCallback = Callable[[int, int], None]
+
+
+class ShardExecutionError(RuntimeError):
+    """One or more shards failed; carries every failure, not just the first.
+
+    Attributes
+    ----------
+    failures:
+        List of ``(task_index, error_repr, traceback_text)`` tuples.
+    """
+
+    def __init__(self, failures: Sequence[Tuple[int, str, str]]) -> None:
+        self.failures = list(failures)
+        summary = "; ".join(
+            f"shard {index}: {error}" for index, error, _ in self.failures
+        )
+        details = "\n\n".join(tb for _, _, tb in self.failures)
+        super().__init__(
+            f"{len(self.failures)} shard(s) failed — {summary}\n{details}"
+        )
+
+
+def _guarded_call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
+    """Run one task, capturing any exception as data (workers can't raise
+    rich tracebacks across process boundaries)."""
+    fn, task = payload
+    try:
+        return True, fn(task)
+    except Exception as error:  # noqa: BLE001 - aggregated and re-raised
+        return False, (repr(error), traceback.format_exc())
+
+
+def _collect(
+    outcomes,
+    total: int,
+    progress: Optional[ProgressCallback],
+) -> List[Any]:
+    """Drain ordered outcomes, firing progress and aggregating failures."""
+    results: List[Any] = []
+    failures: List[Tuple[int, str, str]] = []
+    for index, (ok, value) in enumerate(outcomes):
+        if ok:
+            results.append(value)
+        else:
+            error, tb = value
+            failures.append((index, error, tb))
+            results.append(None)
+        if progress is not None:
+            progress(index + 1, total)
+    if failures:
+        raise ShardExecutionError(failures)
+    return results
+
+
+class Executor:
+    """Protocol for executor backends.
+
+    Subclasses implement :meth:`map`; ``workers`` reports the degree of
+    parallelism (1 for serial).
+    """
+
+    workers: int = 1
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every task, returning results in task order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-process execution: the reference backend and the 1-worker case."""
+
+    workers = 1
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        tasks = list(tasks)
+        outcomes = (_guarded_call((fn, task)) for task in tasks)
+        return _collect(outcomes, len(tasks), progress)
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class MultiprocessingExecutor(Executor):
+    """Process-pool execution via :mod:`multiprocessing`.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  The pool never exceeds the task count.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when the
+        platform offers it, else the platform default.  Task functions
+        must be module-level either way so ``spawn`` keeps working.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        self.workers = ensure_positive_int("workers", workers)
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in available else None
+        self.start_method = start_method
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool_size = min(self.workers, len(tasks))
+        if pool_size == 1:
+            return SerialExecutor().map(fn, tasks, progress=progress)
+        context = multiprocessing.get_context(self.start_method)
+        payloads = [(fn, task) for task in tasks]
+        with context.Pool(pool_size) as pool:
+            # imap (not imap_unordered): order preservation is what
+            # makes merged results independent of the worker count.
+            outcomes = pool.imap(_guarded_call, payloads)
+            return _collect(outcomes, len(tasks), progress)
+
+    def __repr__(self) -> str:
+        return f"MultiprocessingExecutor(workers={self.workers})"
+
+
+def make_executor(workers: int, start_method: Optional[str] = None) -> Executor:
+    """The executor for a worker count: serial at 1, a process pool above."""
+    workers = ensure_positive_int("workers", workers)
+    if workers == 1:
+        return SerialExecutor()
+    return MultiprocessingExecutor(workers, start_method)

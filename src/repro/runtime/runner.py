@@ -1,0 +1,196 @@
+"""The parallel runner: plan shards, fan out, merge, cache.
+
+:class:`ParallelRunner` is the façade of :mod:`repro.runtime`.  Given
+a :class:`~repro.runtime.spec.SimulationSpec` (Monte Carlo ensemble)
+or a system experiment (node-level repeats) it
+
+1. checks the content-addressed cache for a previous merged result,
+2. splits the work into a worker-count-independent shard plan,
+3. executes the shards on the configured backend, and
+4. merges shard results in plan order via
+   :meth:`~repro.core.results.EnsembleResult.merge`.
+
+Because the plan and the merge order are independent of the executor,
+``workers=1`` and ``workers=8`` produce bit-identical merged arrays
+for the same spec and shard count.
+
+The shard task functions are module-level so they pickle by reference
+under every multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Optional, Sequence, Tuple, Union
+
+from ..core.results import EnsembleResult
+from ..sim.rng import RandomSource, SeedLike
+from .cache import ResultCache
+from .executor import Executor, ProgressCallback, make_executor
+from .sharding import DEFAULT_SHARD_COUNT, Shard, plan_shards
+from .spec import SimulationSpec, SystemSpec, spec_fingerprint
+
+__all__ = ["ParallelRunner"]
+
+
+def _run_simulation_shard(task: Tuple[SimulationSpec, Shard]) -> EnsembleResult:
+    """Worker entry point: run one chunk of a Monte Carlo ensemble."""
+    from ..sim.engine import MonteCarloEngine
+
+    spec, shard = task
+    engine = MonteCarloEngine(
+        spec.protocol,
+        spec.allocation,
+        trials=shard.trials,
+        seed=RandomSource(shard.seed),
+    )
+    return engine.run(
+        spec.horizon,
+        spec.checkpoints,
+        events=spec.events,
+        record_terminal_stakes=spec.record_terminal_stakes,
+    )
+
+
+def _run_system_shard(task: Tuple[SystemSpec, Shard]) -> EnsembleResult:
+    """Worker entry point: run one chunk of node-level system repeats.
+
+    Calls the experiment's serial path directly — never its public
+    ``run`` — so a forked worker that inherited an ambient runtime
+    cannot recurse into the pool.
+    """
+    spec, shard = task
+    return spec.experiment._run_serial(
+        spec.rounds,
+        shard.trials,
+        checkpoints=spec.checkpoints,
+        seed=RandomSource(shard.seed),
+    )
+
+
+class ParallelRunner:
+    """Sharded, cached execution of ensemble workloads.
+
+    Parameters
+    ----------
+    workers:
+        Process count; 1 runs in-process.
+    cache:
+        A :class:`ResultCache`, a directory path to create one in, or
+        None to disable caching.
+    shards:
+        Default shard count per run; None uses
+        ``max(DEFAULT_SHARD_COUNT, workers)`` clamped to the trial
+        count, so plans are identical for any worker count up to
+        :data:`~repro.runtime.sharding.DEFAULT_SHARD_COUNT` while
+        larger pools still get one shard per worker.  The shard count
+        — not the worker count — determines the merged bits, so pin it
+        when comparing runs.
+    progress:
+        Optional ``callback(completed, total_shards)`` fired as shard
+        results arrive, in plan order.
+
+    Examples
+    --------
+    >>> from repro.protocols import MultiLotteryPoS
+    >>> from repro.core.miners import Allocation
+    >>> from repro.runtime import ParallelRunner, SimulationSpec
+    >>> spec = SimulationSpec(MultiLotteryPoS(0.01),
+    ...                       Allocation.two_miners(0.2),
+    ...                       trials=100, horizon=200, seed=11)
+    >>> ParallelRunner(workers=1).run(spec).trials
+    100
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Union[ResultCache, str, pathlib.Path, None] = None,
+        *,
+        shards: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.executor = executor if executor is not None else make_executor(workers)
+        if cache is None or isinstance(cache, ResultCache):
+            self.cache = cache
+        else:
+            self.cache = ResultCache(cache)
+        self.default_shards = shards
+        self.progress = progress
+
+    @property
+    def workers(self) -> int:
+        """Degree of parallelism of the configured executor."""
+        return self.executor.workers
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this runner fans work out across processes."""
+        return self.executor.workers > 1
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self, spec: SimulationSpec, *, shards: Optional[int] = None
+    ) -> EnsembleResult:
+        """Run (or load) the Monte Carlo ensemble described by ``spec``."""
+        if not isinstance(spec, SimulationSpec):
+            raise TypeError(
+                f"spec must be a SimulationSpec, got {type(spec).__name__}"
+            )
+        return self._execute(spec, spec.trials, _run_simulation_shard, shards)
+
+    def run_system(
+        self,
+        experiment: Any,
+        rounds: int,
+        repeats: int,
+        *,
+        checkpoints: Optional[Sequence[int]] = None,
+        seed: SeedLike = None,
+        shards: Optional[int] = None,
+    ) -> EnsembleResult:
+        """Run (or load) ``repeats`` node-level deployments of ``experiment``.
+
+        ``experiment`` is a
+        :class:`~repro.chainsim.harness.SystemExperiment`; arguments
+        mirror its ``run`` method.
+        """
+        spec = SystemSpec(
+            experiment=experiment,
+            rounds=rounds,
+            repeats=repeats,
+            checkpoints=None if checkpoints is None else tuple(checkpoints),
+            seed=seed,
+        )
+        return self._execute(spec, spec.repeats, _run_system_shard, shards)
+
+    def _execute(self, spec, total: int, shard_fn, shards: Optional[int]):
+        if shards is None:
+            shards = self.default_shards
+        if shards is None:
+            # Workers above the default shard count would otherwise sit
+            # idle; give big pools one shard each (cache keys carry the
+            # shard count, so plans never silently collide).
+            shards = min(total, max(DEFAULT_SHARD_COUNT, self.workers))
+        plan = plan_shards(total, spec.seed_sequence, shards)
+        key = None
+        if self.cache is not None:
+            key = spec_fingerprint(spec, shards=len(plan))
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        results = self.executor.map(
+            shard_fn, [(spec, shard) for shard in plan], progress=self.progress
+        )
+        merged = EnsembleResult.merge(results)
+        if key is not None:
+            self.cache.put(key, merged)
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelRunner(workers={self.workers}, "
+            f"cache={self.cache!r}, shards={self.default_shards})"
+        )

@@ -174,7 +174,13 @@ def simulate(
     checkpoints: Optional[Sequence[int]] = None,
     events: Sequence[GameEvent] = (),
     seed: SeedLike = None,
+    record_terminal_stakes: bool = True,
 ) -> EnsembleResult:
     """One-call convenience wrapper around :class:`MonteCarloEngine`."""
     engine = MonteCarloEngine(protocol, allocation, trials=trials, seed=seed)
-    return engine.run(horizon, checkpoints, events=events)
+    return engine.run(
+        horizon,
+        checkpoints,
+        events=events,
+        record_terminal_stakes=record_terminal_stakes,
+    )

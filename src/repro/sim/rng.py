@@ -93,6 +93,11 @@ class RandomSource:
         """The root entropy of this source (for logging/reproduction)."""
         return self._sequence.entropy
 
+    @property
+    def sequence(self) -> np.random.SeedSequence:
+        """The underlying seed sequence (for sharding/fingerprinting)."""
+        return self._sequence
+
     def generator(self) -> np.random.Generator:
         """Return the (memoised) root generator of this source."""
         if self._generator is None:

@@ -1,0 +1,161 @@
+"""Property-based tests for the runtime subsystem.
+
+Three paper-level guarantees:
+
+* **Worker transparency** — for a fixed shard plan, the merged
+  ensemble is bit-identical whether shards run serially or across
+  processes; parallelism must never change the science.
+* **Merge safety** — :meth:`EnsembleResult.merge` refuses to combine
+  ensembles of different games (protocol, allocation, checkpoints,
+  round unit, stake recording).
+* **Cache fidelity** — a cache hit returns byte-equal arrays, so a
+  warm rerun is indistinguishable from a cold one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.miners import Allocation
+from repro.core.results import EnsembleResult
+from repro.protocols import MultiLotteryPoS, ProofOfWork, SingleLotteryPoS
+from repro.runtime import ParallelRunner, SimulationSpec
+
+PROTOCOLS = {
+    "pow": lambda: ProofOfWork(0.01),
+    "ml-pos": lambda: MultiLotteryPoS(0.01),
+    "sl-pos": lambda: SingleLotteryPoS(0.01),
+}
+
+LIGHT_SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@LIGHT_SETTINGS
+@given(
+    protocol_key=st.sampled_from(sorted(PROTOCOLS)),
+    trials=st.integers(min_value=8, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    shards=st.integers(min_value=1, max_value=4),
+)
+def test_workers_one_and_four_merge_bit_identically(
+    protocol_key, trials, seed, shards
+):
+    spec = SimulationSpec(
+        protocol=PROTOCOLS[protocol_key](),
+        allocation=Allocation.two_miners(0.2),
+        trials=trials,
+        horizon=60,
+        seed=seed,
+    )
+    shards = min(shards, trials)
+    serial = ParallelRunner(workers=1).run(spec, shards=shards)
+    parallel = ParallelRunner(workers=4).run(spec, shards=shards)
+    assert (
+        serial.reward_fractions.tobytes() == parallel.reward_fractions.tobytes()
+    )
+    assert serial.terminal_stakes.tobytes() == parallel.terminal_stakes.tobytes()
+    np.testing.assert_array_equal(serial.checkpoints, parallel.checkpoints)
+
+
+@LIGHT_SETTINGS
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    shards=st.integers(min_value=2, max_value=5),
+)
+def test_merge_of_shards_preserves_trial_count_and_range(seed, shards):
+    spec = SimulationSpec(
+        protocol=MultiLotteryPoS(0.01),
+        allocation=Allocation.two_miners(0.2),
+        trials=30,
+        horizon=50,
+        seed=seed,
+    )
+    merged = ParallelRunner(workers=1).run(spec, shards=shards)
+    assert merged.trials == 30
+    assert np.all(merged.reward_fractions >= 0.0)
+    assert np.all(merged.reward_fractions <= 1.0)
+    # Reward fractions at the final checkpoint sum to one per trial.
+    np.testing.assert_allclose(
+        merged.reward_fractions[:, -1, :].sum(axis=1), 1.0, atol=1e-9
+    )
+
+
+def _result(protocol_name="ML-PoS", share=0.2, checkpoints=(10, 20), trials=5,
+            round_unit="block", with_terminal=True):
+    allocation = Allocation.two_miners(share)
+    fractions = np.full((trials, len(checkpoints), 2), 0.5)
+    terminal = np.full((trials, 2), 0.5) if with_terminal else None
+    return EnsembleResult(
+        protocol_name=protocol_name,
+        allocation=allocation,
+        checkpoints=checkpoints,
+        reward_fractions=fractions,
+        terminal_stakes=terminal,
+        round_unit=round_unit,
+    )
+
+
+class TestMergeRejectsMismatches:
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            EnsembleResult.merge([])
+
+    def test_protocol_mismatch(self):
+        with pytest.raises(ValueError, match="protocols"):
+            EnsembleResult.merge([_result("PoW"), _result("ML-PoS")])
+
+    def test_allocation_mismatch(self):
+        with pytest.raises(ValueError, match="allocations"):
+            EnsembleResult.merge([_result(share=0.2), _result(share=0.3)])
+
+    def test_checkpoint_mismatch(self):
+        with pytest.raises(ValueError, match="checkpoints"):
+            EnsembleResult.merge(
+                [_result(checkpoints=(10, 20)), _result(checkpoints=(10, 30))]
+            )
+
+    def test_round_unit_mismatch(self):
+        with pytest.raises(ValueError, match="round units"):
+            EnsembleResult.merge(
+                [_result(round_unit="block"), _result(round_unit="epoch")]
+            )
+
+    def test_terminal_stake_disagreement(self):
+        with pytest.raises(ValueError, match="terminal stake"):
+            EnsembleResult.merge(
+                [_result(with_terminal=True), _result(with_terminal=False)]
+            )
+
+    def test_merge_concatenates_in_order(self):
+        a, b = _result(trials=3), _result(trials=4)
+        a.reward_fractions[:] = 0.1
+        b.reward_fractions[:] = 0.9
+        merged = EnsembleResult.merge([a, b])
+        assert merged.trials == 7
+        assert np.all(merged.reward_fractions[:3] == 0.1)
+        assert np.all(merged.reward_fractions[3:] == 0.9)
+
+
+@LIGHT_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_cache_hit_round_trips_byte_equal(tmp_path_factory, seed):
+    tmp_path = tmp_path_factory.mktemp("runtime-cache")
+    spec = SimulationSpec(
+        protocol=MultiLotteryPoS(0.01),
+        allocation=Allocation.two_miners(0.2),
+        trials=16,
+        horizon=40,
+        seed=seed,
+    )
+    runner = ParallelRunner(workers=1, cache=tmp_path)
+    cold = runner.run(spec, shards=2)
+    warm = runner.run(spec, shards=2)
+    assert runner.cache.hits == 1
+    assert cold.reward_fractions.tobytes() == warm.reward_fractions.tobytes()
+    assert cold.terminal_stakes.tobytes() == warm.terminal_stakes.tobytes()
+    assert cold.checkpoints.tobytes() == warm.checkpoints.tobytes()

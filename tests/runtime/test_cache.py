@@ -1,0 +1,109 @@
+"""Tests for repro.runtime.cache — content-addressed result storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols import MultiLotteryPoS
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import SimulationSpec, spec_fingerprint
+from repro.sim.engine import simulate
+
+
+@pytest.fixture
+def result(two_miners):
+    return simulate(MultiLotteryPoS(0.01), two_miners, 100, trials=20, seed=1)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+KEY = "a" * 64
+
+
+class TestRoundTrip:
+    def test_put_then_get_byte_equal(self, cache, result):
+        cache.put(KEY, result)
+        loaded = cache.get(KEY)
+        assert loaded.reward_fractions.tobytes() == result.reward_fractions.tobytes()
+        assert loaded.terminal_stakes.tobytes() == result.terminal_stakes.tobytes()
+        assert loaded.protocol_name == result.protocol_name
+        assert loaded.allocation == result.allocation
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get(KEY) is None
+
+    def test_contains(self, cache, result):
+        assert KEY not in cache
+        cache.put(KEY, result)
+        assert KEY in cache
+
+    def test_hit_and_miss_counters(self, cache, result):
+        cache.get(KEY)
+        cache.put(KEY, result)
+        cache.get(KEY)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_len_counts_entries(self, cache, result):
+        assert len(cache) == 0
+        cache.put(KEY, result)
+        cache.put("b" * 64, result)
+        assert len(cache) == 2
+
+    def test_clear(self, cache, result):
+        cache.put(KEY, result)
+        assert cache.clear() == 1
+        assert cache.get(KEY) is None
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_evicted(self, cache, result):
+        path = cache.put(KEY, result)
+        path.write_bytes(b"not an npz archive")
+        assert cache.get(KEY) is None
+        assert not path.exists()
+
+    def test_no_partial_artifacts_on_put(self, cache, result):
+        cache.put(KEY, result)
+        entries = [p.name for p in cache.directory.glob("*.npz")]
+        assert entries == [f"{KEY}.npz"]
+        assert list((cache.directory / ".tmp").glob("*.npz")) == []
+
+    def test_orphaned_staging_files_do_not_count_as_entries(self, cache, result):
+        cache.put(KEY, result)
+        orphan = cache.directory / ".tmp" / "dead-run-123.npz"
+        orphan.write_bytes(b"partial write")
+        assert len(cache) == 1
+        cache.clear()
+        assert not orphan.exists()
+
+    def test_rejects_path_traversal_keys(self, cache):
+        with pytest.raises(ValueError, match="invalid cache key"):
+            cache.path_for("../escape")
+        with pytest.raises(ValueError, match="invalid cache key"):
+            cache.path_for("")
+
+    def test_rejects_existing_file_as_directory(self, tmp_path):
+        file_path = tmp_path / "not-a-dir"
+        file_path.write_text("occupied")
+        with pytest.raises(ValueError, match="not a directory"):
+            ResultCache(file_path)
+
+    def test_directory_created_lazily(self, tmp_path, result):
+        cache = ResultCache(tmp_path / "deep" / "nested")
+        assert not cache.directory.exists()
+        cache.put(KEY, result)
+        assert cache.directory.exists()
+
+
+class TestFingerprintIntegration:
+    def test_spec_key_round_trip(self, cache, result, two_miners):
+        spec = SimulationSpec(
+            MultiLotteryPoS(0.01), two_miners, trials=20, horizon=100, seed=1
+        )
+        key = spec_fingerprint(spec, shards=4)
+        cache.put(key, result)
+        assert cache.get(key) is not None

@@ -1,0 +1,97 @@
+"""Tests for repro.runtime.executor — serial/multiprocessing backends."""
+
+import pytest
+
+from repro.runtime.executor import (
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ShardExecutionError,
+    make_executor,
+)
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_odd(x):
+    if x % 2 == 1:
+        raise ValueError(f"odd input {x}")
+    return x
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        assert SerialExecutor().map(square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().map(square, []) == []
+
+    def test_progress_callback_fires_in_order(self):
+        seen = []
+        SerialExecutor().map(
+            square, [1, 2, 3], progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_aggregates_all_failures(self):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            SerialExecutor().map(fail_on_odd, [0, 1, 2, 3])
+        failures = excinfo.value.failures
+        assert [index for index, _, _ in failures] == [1, 3]
+        assert "odd input 3" in str(excinfo.value)
+
+    def test_later_tasks_still_run_after_a_failure(self):
+        seen = []
+        with pytest.raises(ShardExecutionError):
+            SerialExecutor().map(
+                fail_on_odd,
+                [0, 1, 2],
+                progress=lambda done, total: seen.append(done),
+            )
+        assert seen == [1, 2, 3]
+
+
+class TestMultiprocessingExecutor:
+    def test_matches_serial_results_in_order(self):
+        tasks = list(range(20))
+        assert MultiprocessingExecutor(4).map(square, tasks) == [
+            x * x for x in tasks
+        ]
+
+    def test_single_worker_pool_degrades_to_serial(self):
+        assert MultiprocessingExecutor(4).map(square, [3]) == [9]
+
+    def test_error_aggregation_across_processes(self):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            MultiprocessingExecutor(2).map(fail_on_odd, [0, 1, 2, 3])
+        assert [index for index, _, _ in excinfo.value.failures] == [1, 3]
+        # Tracebacks survive the process boundary as text.
+        assert "ValueError" in str(excinfo.value)
+
+    def test_progress_callback(self):
+        seen = []
+        MultiprocessingExecutor(2).map(
+            square,
+            list(range(4)),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            MultiprocessingExecutor(0)
+
+
+class TestMakeExecutor:
+    def test_one_worker_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_many_workers_is_pool(self):
+        executor = make_executor(4)
+        assert isinstance(executor, MultiprocessingExecutor)
+        assert executor.workers == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_executor(0)

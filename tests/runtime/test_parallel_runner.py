@@ -1,0 +1,256 @@
+"""Tests for repro.runtime.runner and the wiring into game/experiments."""
+
+import numpy as np
+import pytest
+
+from repro.chainsim.harness import SystemExperiment
+from repro.core.game import MiningGame
+from repro.core.miners import Allocation
+from repro.protocols import MultiLotteryPoS, ProofOfWork
+from repro.runtime import (
+    ParallelRunner,
+    ResultCache,
+    SimulationSpec,
+    get_default_runtime,
+    set_default_runtime,
+    using_runtime,
+)
+from repro.sim.engine import MonteCarloEngine
+from repro.sim.events import StakeTopUp
+
+
+def make_spec(trials=60, horizon=120, seed=42, **overrides):
+    defaults = dict(
+        protocol=MultiLotteryPoS(0.01),
+        allocation=Allocation.two_miners(0.2),
+        trials=trials,
+        horizon=horizon,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return SimulationSpec(**defaults)
+
+
+class TestRunSimulation:
+    def test_serial_run_produces_full_ensemble(self):
+        result = ParallelRunner(workers=1).run(make_spec(), shards=4)
+        assert result.trials == 60
+        assert result.protocol_name == "ML-PoS"
+
+    def test_workers_do_not_change_merged_bits(self):
+        spec = make_spec()
+        serial = ParallelRunner(workers=1).run(spec, shards=4)
+        parallel = ParallelRunner(workers=3).run(spec, shards=4)
+        np.testing.assert_array_equal(
+            serial.reward_fractions, parallel.reward_fractions
+        )
+        np.testing.assert_array_equal(
+            serial.terminal_stakes, parallel.terminal_stakes
+        )
+
+    def test_events_forwarded_to_shards(self):
+        spec = make_spec(
+            protocol=ProofOfWork(0.01),
+            events=(StakeTopUp(10, 0, amount=0.5),),
+        )
+        result = ParallelRunner(workers=2).run(spec, shards=2)
+        # The top-up raises A's hash share, so A's mean final fraction
+        # must exceed the no-event run's.
+        plain = ParallelRunner(workers=2).run(
+            make_spec(protocol=ProofOfWork(0.01)), shards=2
+        )
+        assert result.final_fractions().mean() > plain.final_fractions().mean()
+
+    def test_record_terminal_stakes_respected(self):
+        spec = make_spec(record_terminal_stakes=False)
+        result = ParallelRunner(workers=1).run(spec, shards=2)
+        assert result.terminal_stakes is None
+
+    def test_default_shard_plan_is_workers_independent(self):
+        spec = make_spec()
+        one = ParallelRunner(workers=1).run(spec)
+        two = ParallelRunner(workers=2).run(spec)
+        np.testing.assert_array_equal(one.reward_fractions, two.reward_fractions)
+
+    def test_large_pools_get_one_shard_per_worker(self):
+        seen = []
+        runner = ParallelRunner(
+            workers=12, progress=lambda done, total: seen.append(total)
+        )
+        runner.run(make_spec(trials=24))
+        assert seen[0] == 12  # default plan scales past DEFAULT_SHARD_COUNT
+
+    def test_progress_reports_every_shard(self):
+        seen = []
+        runner = ParallelRunner(
+            workers=1, progress=lambda done, total: seen.append((done, total))
+        )
+        runner.run(make_spec(), shards=3)
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError, match="SimulationSpec"):
+            ParallelRunner().run("fig2")
+
+
+class TestRunSystem:
+    def test_system_repeats_sharded_and_merged(self, two_miners):
+        experiment = SystemExperiment("ml-pos", two_miners)
+        serial = ParallelRunner(workers=1).run_system(
+            experiment, 40, 6, seed=7, shards=3
+        )
+        parallel = ParallelRunner(workers=2).run_system(
+            experiment, 40, 6, seed=7, shards=3
+        )
+        assert serial.trials == 6
+        np.testing.assert_array_equal(
+            serial.reward_fractions, parallel.reward_fractions
+        )
+
+    def test_harness_routes_through_ambient_runtime(self, two_miners):
+        experiment = SystemExperiment("ml-pos", two_miners)
+        runner = ParallelRunner(workers=1)
+        with using_runtime(runner):
+            routed = experiment.run(40, 6, seed=7)
+        direct = runner.run_system(experiment, 40, 6, seed=7)
+        np.testing.assert_array_equal(
+            routed.reward_fractions, direct.reward_fractions
+        )
+
+
+class TestCacheIntegration:
+    def test_second_run_is_a_cache_hit(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache=tmp_path / "cache")
+        spec = make_spec()
+        cold = runner.run(spec, shards=4)
+        warm = runner.run(spec, shards=4)
+        assert runner.cache.hits == 1
+        assert cold.reward_fractions.tobytes() == warm.reward_fractions.tobytes()
+
+    def test_cache_shared_across_runner_instances(self, tmp_path):
+        spec = make_spec()
+        ParallelRunner(workers=1, cache=tmp_path).run(spec, shards=4)
+        second = ParallelRunner(workers=2, cache=tmp_path)
+        second.run(spec, shards=4)
+        assert second.cache.hits == 1
+
+    def test_different_shard_plans_do_not_collide(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        spec = make_spec()
+        runner.run(spec, shards=2)
+        runner.run(spec, shards=3)
+        assert runner.cache.hits == 0
+        assert len(runner.cache) == 2
+
+    def test_accepts_prebuilt_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(cache=cache)
+        assert runner.cache is cache
+
+    def test_system_results_cached(self, tmp_path, two_miners):
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        experiment = SystemExperiment("ml-pos", two_miners)
+        runner.run_system(experiment, 30, 4, seed=3, shards=2)
+        runner.run_system(experiment, 30, 4, seed=3, shards=2)
+        assert runner.cache.hits == 1
+
+    def test_single_repeat_system_run_cached_via_ambient_runtime(
+        self, tmp_path, two_miners
+    ):
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        experiment = SystemExperiment("ml-pos", two_miners)
+        with using_runtime(runner):
+            experiment.run(30, 1, seed=3)
+            experiment.run(30, 1, seed=3)
+        assert runner.cache.hits == 1
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert get_default_runtime() is None
+
+    def test_using_runtime_scopes_and_restores(self):
+        runner = ParallelRunner()
+        with using_runtime(runner):
+            assert get_default_runtime() is runner
+            inner = ParallelRunner()
+            with using_runtime(inner):
+                assert get_default_runtime() is inner
+            assert get_default_runtime() is runner
+        assert get_default_runtime() is None
+
+    def test_set_returns_previous(self):
+        runner = ParallelRunner()
+        assert set_default_runtime(runner) is None
+        assert set_default_runtime(None) is runner
+
+
+class TestMiningGameWiring:
+    def test_workers_and_direct_runner_agree(self):
+        game = MiningGame(MultiLotteryPoS(0.01), Allocation.two_miners(0.2))
+        via_game = game.simulate(120, trials=60, seed=42, workers=2)
+        spec = make_spec()
+        via_runner = ParallelRunner(workers=1).run(spec)
+        np.testing.assert_array_equal(
+            via_game.reward_fractions, via_runner.reward_fractions
+        )
+
+    def test_play_with_cache(self, tmp_path):
+        game = MiningGame(ProofOfWork(0.01), Allocation.two_miners(0.2))
+        first = game.play(200, trials=80, seed=5, cache=tmp_path)
+        second = game.play(200, trials=80, seed=5, cache=tmp_path)
+        assert first.expectational.sample_mean == second.expectational.sample_mean
+
+    def test_serial_path_unchanged_without_runtime_args(self):
+        game = MiningGame(MultiLotteryPoS(0.01), Allocation.two_miners(0.2))
+        via_game = game.simulate(120, trials=60, seed=42)
+        engine = MonteCarloEngine(
+            game.protocol, game.allocation, trials=60, seed=42
+        )
+        direct = engine.run(120)
+        np.testing.assert_array_equal(
+            via_game.reward_fractions, direct.reward_fractions
+        )
+
+
+class TestExperimentLayerWiring:
+    def test_run_simulation_respects_ambient_runtime(self, tmp_path, two_miners):
+        from repro.experiments._common import run_simulation
+        from repro.sim.rng import RandomSource
+
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        with using_runtime(runner):
+            run_simulation(
+                MultiLotteryPoS(0.01), two_miners, 100, 40, RandomSource(7)
+            )
+            run_simulation(
+                MultiLotteryPoS(0.01), two_miners, 100, 40, RandomSource(7)
+            )
+        assert runner.cache.hits == 1
+
+    def test_cli_workers_and_cache_flags(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["fig2", "--preset", "ci", "--workers", "2", "--cache", str(cache_dir)]
+        )
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out
+        assert get_default_runtime() is None  # context restored
+        assert len(list(cache_dir.glob("*.npz"))) > 0
+
+    def test_cli_rejects_bad_workers(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig2", "--preset", "ci", "--workers", "0"])
+
+    def test_registry_runtime_parameter(self, tmp_path):
+        from repro.experiments.config import CI
+        from repro.experiments.registry import run_experiment
+
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        run_experiment("fig2", CI, seed=1, runtime=runner)
+        assert len(runner.cache) > 0
+        assert get_default_runtime() is None

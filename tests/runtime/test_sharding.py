@@ -1,0 +1,91 @@
+"""Tests for repro.runtime.sharding — deterministic shard plans."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.sharding import (
+    DEFAULT_SHARD_COUNT,
+    Shard,
+    ShardPlan,
+    plan_shards,
+    split_evenly,
+)
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert split_evenly(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread_over_leading_chunks(self):
+        assert split_evenly(10, 3) == [4, 3, 3]
+
+    def test_single_part(self):
+        assert split_evenly(7, 1) == [7]
+
+    def test_each_part_at_least_one(self):
+        assert split_evenly(5, 5) == [1, 1, 1, 1, 1]
+
+    def test_rejects_more_parts_than_items(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            split_evenly(3, 4)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            split_evenly(0, 1)
+        with pytest.raises(ValueError):
+            split_evenly(10, 0)
+
+
+class TestPlanShards:
+    def test_default_count_is_workers_independent_constant(self):
+        plan = plan_shards(1000, np.random.SeedSequence(1))
+        assert len(plan) == DEFAULT_SHARD_COUNT
+
+    def test_default_count_clamped_to_trials(self):
+        plan = plan_shards(3, np.random.SeedSequence(1))
+        assert len(plan) == 3
+
+    def test_trials_sum_to_total(self):
+        plan = plan_shards(103, np.random.SeedSequence(5), 4)
+        assert sum(s.trials for s in plan) == 103
+
+    def test_plan_is_pure_function_of_inputs(self):
+        # Planning twice from the *same* SeedSequence object must give
+        # identical shard seeds (SeedSequence.spawn alone is stateful).
+        sequence = np.random.SeedSequence(9)
+        first = plan_shards(100, sequence, 4)
+        second = plan_shards(100, sequence, 4)
+        for a, b in zip(first, second):
+            assert a.seed.spawn_key == b.seed.spawn_key
+            assert a.seed.entropy == b.seed.entropy
+            assert a.trials == b.trials
+
+    def test_shard_seeds_are_distinct_children(self):
+        plan = plan_shards(100, np.random.SeedSequence(9), 4)
+        keys = {s.seed.spawn_key for s in plan}
+        assert len(keys) == 4
+        assert all(s.seed.entropy == 9 for s in plan)
+
+    def test_shards_indexed_in_order(self):
+        plan = plan_shards(100, np.random.SeedSequence(9), 4)
+        assert [s.index for s in plan] == [0, 1, 2, 3]
+
+    def test_rejects_non_seed_sequence(self):
+        with pytest.raises(TypeError, match="SeedSequence"):
+            plan_shards(100, 42, 4)
+
+    def test_rejects_count_above_total(self):
+        with pytest.raises(ValueError, match="cannot split"):
+            plan_shards(2, np.random.SeedSequence(1), 3)
+
+
+class TestShardPlanValidation:
+    def test_rejects_inconsistent_total(self):
+        shard = Shard(index=0, trials=5, seed=np.random.SeedSequence(1))
+        with pytest.raises(ValueError, match="sum"):
+            ShardPlan(shards=(shard,), total=6)
+
+    def test_iteration_and_len(self):
+        plan = plan_shards(10, np.random.SeedSequence(0), 2)
+        assert len(plan) == 2
+        assert [s.trials for s in plan] == [5, 5]

@@ -1,0 +1,167 @@
+"""Tests for repro.runtime.spec — specs and canonical fingerprints."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.miners import Allocation
+from repro.protocols import CompoundPoS, MultiLotteryPoS, ProofOfWork
+from repro.runtime.spec import (
+    SimulationSpec,
+    SystemSpec,
+    as_seed_sequence,
+    spec_fingerprint,
+)
+from repro.sim.events import StakeTopUp
+from repro.sim.rng import RandomSource
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        protocol=MultiLotteryPoS(0.01),
+        allocation=Allocation.two_miners(0.2),
+        trials=100,
+        horizon=500,
+        seed=42,
+    )
+    defaults.update(overrides)
+    return SimulationSpec(**defaults)
+
+
+class TestSeedNormalisation:
+    def test_int_seed(self):
+        assert as_seed_sequence(7).entropy == 7
+
+    def test_random_source(self):
+        source = RandomSource(9)
+        assert as_seed_sequence(source) is source.sequence
+
+    def test_seed_sequence_passthrough(self):
+        sequence = np.random.SeedSequence(3)
+        assert as_seed_sequence(sequence) is sequence
+
+    def test_none_records_entropy(self):
+        # Fresh OS entropy is drawn but *recorded*, so the spec still
+        # fingerprints (it just never collides across invocations).
+        assert as_seed_sequence(None).entropy is not None
+
+    def test_spec_normalises_seed(self):
+        spec = make_spec(seed=42)
+        assert isinstance(spec.seed_sequence, np.random.SeedSequence)
+        assert spec.seed_sequence.entropy == 42
+
+
+class TestSpecValidation:
+    def test_rejects_non_protocol(self):
+        with pytest.raises(TypeError, match="IncentiveProtocol"):
+            make_spec(protocol="PoW")
+
+    def test_rejects_non_allocation(self):
+        with pytest.raises(TypeError, match="Allocation"):
+            make_spec(allocation=[0.2, 0.8])
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            make_spec(trials=0)
+
+    def test_checkpoints_normalised_to_ints(self):
+        spec = make_spec(checkpoints=[np.int64(10), 20], horizon=20)
+        assert spec.checkpoints == (10, 20)
+        assert all(isinstance(c, int) for c in spec.checkpoints)
+
+    def test_numpy_integer_trials_fingerprint(self):
+        # numpy ints (e.g. from a parameter grid) must normalise to
+        # plain ints so the canonical JSON fingerprint works.
+        spec = make_spec(trials=np.int64(100), horizon=np.int64(500))
+        assert isinstance(spec.trials, int)
+        assert spec_fingerprint(spec) == spec_fingerprint(make_spec())
+
+    def test_rejects_checkpoints_beyond_horizon_eagerly(self):
+        # Invalid inputs must fail at spec construction with the same
+        # ValueError the serial engine raises — not as a
+        # ShardExecutionError after spinning up a pool.
+        with pytest.raises(ValueError, match="exceed the horizon"):
+            make_spec(checkpoints=[1000], horizon=500)
+
+    def test_rejects_events_beyond_horizon_eagerly(self):
+        with pytest.raises(ValueError, match="exceeds horizon"):
+            make_spec(events=(StakeTopUp(600, 0, amount=0.1),), horizon=500)
+
+    def test_system_spec_numpy_ints(self):
+        from repro.chainsim.harness import SystemExperiment
+
+        experiment = SystemExperiment("ml-pos", Allocation.two_miners(0.2))
+        spec = SystemSpec(
+            experiment=experiment, rounds=np.int64(50), repeats=np.int64(4), seed=1
+        )
+        assert spec_fingerprint(spec) == spec_fingerprint(
+            SystemSpec(experiment=experiment, rounds=50, repeats=4, seed=1)
+        )
+
+    def test_spec_is_picklable(self):
+        spec = make_spec(events=(StakeTopUp(10, 0, amount=0.1),))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.trials == spec.trials
+        assert clone.seed_sequence.entropy == spec.seed_sequence.entropy
+        assert clone.events == spec.events
+
+
+class TestFingerprint:
+    def test_deterministic_across_objects(self):
+        assert spec_fingerprint(make_spec()) == spec_fingerprint(make_spec())
+
+    def test_is_hex_sha256(self):
+        key = spec_fingerprint(make_spec())
+        assert len(key) == 64
+        int(key, 16)
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"protocol": MultiLotteryPoS(0.02)},
+            {"protocol": ProofOfWork(0.01)},
+            {"allocation": Allocation.two_miners(0.3)},
+            {"trials": 101},
+            {"horizon": 501},
+            {"checkpoints": (100, 500)},
+            {"events": (StakeTopUp(10, 0, amount=0.1),)},
+            {"seed": 43},
+            {"record_terminal_stakes": False},
+        ],
+    )
+    def test_sensitive_to_every_field(self, override):
+        assert spec_fingerprint(make_spec(**override)) != spec_fingerprint(
+            make_spec()
+        )
+
+    def test_sensitive_to_shard_count(self):
+        spec = make_spec()
+        assert spec_fingerprint(spec, shards=4) != spec_fingerprint(spec, shards=8)
+
+    def test_protocol_parameters_distinguished(self):
+        a = make_spec(protocol=CompoundPoS(0.01, 0.1, shards=32))
+        b = make_spec(protocol=CompoundPoS(0.01, 0.1, shards=16))
+        assert spec_fingerprint(a) != spec_fingerprint(b)
+
+    def test_system_spec_fingerprint(self):
+        from repro.chainsim.harness import SystemExperiment
+
+        experiment = SystemExperiment("ml-pos", Allocation.two_miners(0.2))
+        spec = SystemSpec(experiment=experiment, rounds=50, repeats=4, seed=1)
+        other = SystemSpec(experiment=experiment, rounds=50, repeats=5, seed=1)
+        assert spec_fingerprint(spec) == spec_fingerprint(
+            SystemSpec(experiment=experiment, rounds=50, repeats=4, seed=1)
+        )
+        assert spec_fingerprint(spec) != spec_fingerprint(other)
+
+    def test_simulation_and_system_never_collide(self):
+        from repro.chainsim.harness import SystemExperiment
+
+        experiment = SystemExperiment("ml-pos", Allocation.two_miners(0.2))
+        system = SystemSpec(experiment=experiment, rounds=500, repeats=100, seed=42)
+        assert spec_fingerprint(system) != spec_fingerprint(make_spec())
+
+    def test_rejects_unknown_spec_type(self):
+        with pytest.raises(TypeError, match="SimulationSpec or SystemSpec"):
+            spec_fingerprint({"trials": 5})

@@ -80,6 +80,13 @@ class TestRun:
         result = engine.run(50, record_terminal_stakes=False)
         assert result.terminal_stakes is None
 
+    def test_simulate_forwards_record_terminal_stakes(self, two_miners):
+        result = simulate(
+            ProofOfWork(0.01), two_miners, 50,
+            trials=5, seed=1, record_terminal_stakes=False,
+        )
+        assert result.terminal_stakes is None
+
     def test_round_unit_propagates(self, two_miners):
         from repro.protocols.c_pos import CompoundPoS
 

@@ -7,10 +7,10 @@ import repro
 
 class TestPublicSurface:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackages_exposed(self):
-        for name in ("core", "protocols", "sim", "theory", "analysis"):
+        for name in ("core", "protocols", "sim", "theory", "analysis", "runtime"):
             assert hasattr(repro, name)
 
     def test_all_exports_resolve(self):

@@ -2,12 +2,15 @@
 
 These time the per-round cost of each protocol's vectorised step and
 the winner sampler — the numbers that determine how long a paper-scale
-figure regeneration takes.
+figure regeneration takes.  The naive-vs-batched comparisons reuse the
+:mod:`bench_kernels` harness so both benches report through one code
+path (and ``BENCH_kernels.json`` stays the single perf record).
 """
 
 import numpy as np
 import pytest
 
+from bench_kernels import measure_protocol
 from repro.core.miners import Allocation
 from repro.protocols import (
     CompoundPoS,
@@ -16,6 +19,7 @@ from repro.protocols import (
     SingleLotteryPoS,
 )
 from repro.protocols.base import sample_winners
+from repro.sim.kernels import batched_advance
 
 TRIALS = 10_000
 
@@ -67,3 +71,20 @@ def test_ten_miner_step(benchmark):
     state = protocol.make_state(allocation, TRIALS)
     rng = np.random.default_rng(6)
     benchmark(protocol.step, state, rng)
+
+
+def test_ml_pos_batched_segment(benchmark, allocation):
+    # The fused counterpart of test_ml_pos_step: one 256-round fused
+    # segment, amortised per round it is ~10x the naive step.
+    protocol = MultiLotteryPoS(0.01)
+    state = protocol.make_state(allocation, TRIALS)
+    rng = np.random.default_rng(2)
+    benchmark(batched_advance, protocol, state, 256, rng)
+
+
+def test_naive_vs_batched_recorded(run_once):
+    # Same harness that writes BENCH_kernels.json; records both paths'
+    # wall-clock here (the >= 2x guardrail lives in bench_kernels.py
+    # and the CI perf-smoke job, not duplicated here).
+    row = run_once(measure_protocol, "ml_pos", trials=2_000, rounds=400)
+    assert row["bit_identical"]

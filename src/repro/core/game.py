@@ -217,23 +217,34 @@ class MiningGame:
         trials: int = 10_000,
         *,
         checkpoints: Optional[Sequence[int]] = None,
+        events: Sequence = (),
         seed=None,
+        record_terminal_stakes: bool = True,
         workers: int = 1,
         cache=None,
+        backend: Optional[str] = None,
+        kernel: str = "batched",
     ) -> EnsembleResult:
         """Run the Monte Carlo engine and return the raw ensemble result.
 
-        ``workers`` > 1 shards the ensemble across processes via
-        :class:`repro.runtime.ParallelRunner`; ``cache`` (a directory
-        or :class:`repro.runtime.ResultCache`) memoises the merged
-        result under the spec's content address.
+        ``workers`` > 1 shards the ensemble via
+        :class:`repro.runtime.ParallelRunner` (``backend`` picks
+        processes or threads); ``cache`` (a directory or
+        :class:`repro.runtime.ResultCache`) memoises the merged result
+        under the spec's content address.  ``events`` and
+        ``record_terminal_stakes`` are forwarded on *both* the serial
+        and the sharded path; an unsupported knob combination raises
+        instead of being silently ignored.  ``kernel`` selects the
+        fused batched advance (default) or the naive per-round loop —
+        bit-identical outputs either way.
 
         .. note::
-           Setting either knob switches to the *sharded* random-stream
-           layout: results are bit-identical across any ``workers``
-           count (and across cache hits) but not bit-identical to the
-           plain single-stream run without these knobs — the ensembles
-           are statistically identical, the per-trial draws differ.
+           Setting ``workers`` or ``cache`` switches to the *sharded*
+           random-stream layout: results are bit-identical across any
+           ``workers`` count (and across cache hits) but not
+           bit-identical to the plain single-stream run without these
+           knobs — the ensembles are statistically identical, the
+           per-trial draws differ.
         """
         if workers > 1 or cache is not None:
             from ..runtime.runner import ParallelRunner
@@ -245,15 +256,34 @@ class MiningGame:
                 trials=trials,
                 horizon=horizon,
                 checkpoints=None if checkpoints is None else tuple(checkpoints),
+                events=tuple(events),
                 seed=seed,
+                record_terminal_stakes=record_terminal_stakes,
+                kernel=kernel,
             )
-            return ParallelRunner(workers=workers, cache=cache).run(spec)
+            runner = ParallelRunner(
+                workers=workers,
+                cache=cache,
+                backend="processes" if backend is None else backend,
+            )
+            return runner.run(spec)
+        if backend is not None:
+            raise ValueError(
+                "backend requires workers > 1 or cache; at workers=1 the "
+                "run is in-process — drop the backend knob or add workers"
+            )
         from ..sim.engine import MonteCarloEngine
 
         engine = MonteCarloEngine(
-            self.protocol, self.allocation, trials=trials, seed=seed
+            self.protocol, self.allocation, trials=trials, seed=seed,
+            kernel=kernel,
         )
-        return engine.run(horizon, checkpoints)
+        return engine.run(
+            horizon,
+            checkpoints,
+            events=events,
+            record_terminal_stakes=record_terminal_stakes,
+        )
 
     def play(
         self,
@@ -263,18 +293,31 @@ class MiningGame:
         epsilon: float = DEFAULT_EPSILON,
         delta: float = DEFAULT_DELTA,
         checkpoints: Optional[Sequence[int]] = None,
+        events: Sequence = (),
         seed=None,
+        record_terminal_stakes: bool = True,
         workers: int = 1,
         cache=None,
+        backend: Optional[str] = None,
+        kernel: str = "batched",
     ) -> FairnessReport:
-        """Simulate and return a full fairness report for the focal miner."""
+        """Simulate and return a full fairness report for the focal miner.
+
+        Accepts every :meth:`simulate` knob and forwards them all —
+        including ``events`` and ``record_terminal_stakes`` on the
+        sharded path.
+        """
         result = self.simulate(
             horizon,
             trials,
             checkpoints=checkpoints,
+            events=events,
             seed=seed,
+            record_terminal_stakes=record_terminal_stakes,
             workers=workers,
             cache=cache,
+            backend=backend,
+            kernel=kernel,
         )
         share = self.allocation.focal_share
         return FairnessReport(

@@ -21,7 +21,7 @@ import sys
 import time
 from typing import List, Optional
 
-from ..runtime import ParallelRunner, using_runtime
+from ..runtime import EXECUTOR_BACKENDS, ParallelRunner, using_runtime
 from .config import get_preset
 from .registry import EXPERIMENTS, get_experiment
 
@@ -80,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache; reruns of an identical "
         "spec load instead of simulating",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(EXECUTOR_BACKENDS),
+        help="how --workers fan out: OS processes (default), or "
+        "threads — cheaper start-up, no pickling; pays off because "
+        "the batched NumPy kernels release the GIL.  Requires "
+        "--workers > 1 or --cache",
+    )
     return parser
 
 
@@ -106,9 +115,19 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     if args.workers == 1 and args.cache is None:
+        if args.backend is not None:
+            # Mirror MiningGame.simulate: raise rather than silently
+            # dropping a knob that cannot take effect in-process.
+            raise SystemExit(
+                "--backend requires --workers > 1 or --cache"
+            )
         return None
     try:
-        return ParallelRunner(workers=args.workers, cache=args.cache)
+        return ParallelRunner(
+            workers=args.workers,
+            cache=args.cache,
+            backend=args.backend or "processes",
+        )
     except ValueError as error:
         raise SystemExit(str(error))
 

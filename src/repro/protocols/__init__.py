@@ -23,6 +23,7 @@ from .base import (
     IncentiveProtocol,
     StakeLotteryProtocol,
     sample_winners,
+    winners_from_uniforms,
 )
 from .c_pos import BlockGranularCompoundPoS, CompoundPoS
 from .extended import (
@@ -44,6 +45,7 @@ __all__ = [
     "IncentiveProtocol",
     "StakeLotteryProtocol",
     "sample_winners",
+    "winners_from_uniforms",
     "ProofOfWork",
     "MultiLotteryPoS",
     "SingleLotteryPoS",

@@ -19,14 +19,43 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from .._validation import ensure_positive_int
 from ..core.miners import Allocation
 
-__all__ = ["EnsembleState", "IncentiveProtocol", "StakeLotteryProtocol", "sample_winners"]
+__all__ = [
+    "EnsembleState",
+    "IncentiveProtocol",
+    "StakeLotteryProtocol",
+    "sample_winners",
+    "winners_from_uniforms",
+]
+
+
+def winners_from_uniforms(
+    probabilities: np.ndarray, draws: np.ndarray
+) -> np.ndarray:
+    """Winner indices from per-trial categorical laws and given uniforms.
+
+    The inverse-CDF arithmetic of :func:`sample_winners`, factored out
+    so the batched kernels (:mod:`repro.sim.kernels`) can feed it
+    pre-drawn uniforms while staying bit-identical to the per-round
+    sampler.
+
+    Parameters
+    ----------
+    probabilities:
+        Array of shape ``(trials, miners)``; rows must sum to one.
+    draws:
+        Uniform variates in ``[0, 1)``, shape ``(trials,)``.
+    """
+    cdf = np.cumsum(probabilities, axis=1)
+    # Guard against rounding: force the last column to 1 exactly.
+    cdf[:, -1] = 1.0
+    return (draws[:, None] > cdf).sum(axis=1)
 
 
 def sample_winners(probabilities: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -47,16 +76,14 @@ def sample_winners(probabilities: np.ndarray, rng: np.random.Generator) -> np.nd
     -----
     Uses the inverse-CDF method vectorised across trials: one uniform
     per trial compared against the per-row cumulative sums.  This is
-    the hot path of the whole simulator.
+    the hot path of the whole simulator; the fused kernels in
+    :mod:`repro.sim.kernels` batch the uniforms across rounds via
+    :func:`winners_from_uniforms`.
     """
     if probabilities.ndim != 2:
         raise ValueError("probabilities must be 2-D (trials, miners)")
-    cdf = np.cumsum(probabilities, axis=1)
     draws = rng.random(probabilities.shape[0])
-    # Guard against rounding: force the last column to 1 exactly.
-    cdf[:, -1] = 1.0
-    winners = (draws[:, None] > cdf).sum(axis=1)
-    return winners
+    return winners_from_uniforms(probabilities, draws)
 
 
 @dataclass
@@ -78,12 +105,18 @@ class EnsembleState:
     extra:
         Protocol-private auxiliary arrays (e.g. pending vesting
         rewards).
+    scratch:
+        Reusable work-buffer pool attached by the batched kernels
+        (:class:`repro.sim.kernels.ScratchBuffers`); None until a
+        fused advance first runs.  Carries no simulation state — only
+        preallocated arrays the inner loops overwrite each round.
     """
 
     stakes: np.ndarray
     rewards: np.ndarray
     round_index: int = 0
     extra: Dict[str, np.ndarray] = field(default_factory=dict)
+    scratch: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def trials(self) -> int:

@@ -26,7 +26,7 @@ from .._validation import (
     ensure_positive_int,
 )
 from ..core.miners import Allocation
-from .base import EnsembleState, IncentiveProtocol
+from .base import EnsembleState, IncentiveProtocol, winners_from_uniforms
 
 __all__ = ["CompoundPoS", "BlockGranularCompoundPoS"]
 
@@ -206,9 +206,8 @@ class BlockGranularCompoundPoS(IncentiveProtocol):
             state.extra["epoch_shares"] = state.stake_shares()
         shares = state.extra["epoch_shares"]
         # One shard proposer for this block.
-        cdf = np.cumsum(shares, axis=1)
-        cdf[:, -1] = 1.0
-        winners = (rng.random(state.trials)[:, None] > cdf).sum(axis=1)
+        draws = rng.random(state.trials)
+        winners = winners_from_uniforms(shares, draws)
         rows = np.arange(state.trials)
         block_reward = self._proposer_reward / self.shards
         state.rewards[rows, winners] += block_reward

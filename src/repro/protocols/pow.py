@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.miners import Allocation
-from .base import EnsembleState, StakeLotteryProtocol
+from .base import EnsembleState, StakeLotteryProtocol, winners_from_uniforms
 
 __all__ = ["ProofOfWork"]
 
@@ -50,10 +50,8 @@ class ProofOfWork(StakeLotteryProtocol):
         self, state: EnsembleState, rng: np.random.Generator
     ) -> np.ndarray:
         probabilities = self.win_probabilities(state)
-        cdf = np.cumsum(probabilities, axis=1)
-        cdf[:, -1] = 1.0
         draws = rng.random(state.trials)
-        return (draws[:, None] > cdf).sum(axis=1)
+        return winners_from_uniforms(probabilities, draws)
 
     def credit_reward(self, state: EnsembleState, winners: np.ndarray) -> None:
         # Reward accrues as income only; hash power is unchanged.

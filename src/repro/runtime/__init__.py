@@ -15,9 +15,9 @@ sharding
     seeds derive from :meth:`RandomSource.spawn`, so the merged result
     is bit-identical for any worker count given a fixed shard plan.
 executor
-    The :class:`Executor` protocol with serial and
-    :mod:`multiprocessing` backends, including progress and error
-    aggregation.
+    The :class:`Executor` protocol with serial, :mod:`multiprocessing`
+    and thread-pool backends (threads suit the GIL-releasing batched
+    kernels), including progress and error aggregation.
 cache
     :class:`ResultCache` — content-addressed ``.npz`` storage layered
     on :mod:`repro.sim.persistence`.
@@ -32,10 +32,12 @@ context
 from .cache import ResultCache
 from .context import get_default_runtime, set_default_runtime, using_runtime
 from .executor import (
+    EXECUTOR_BACKENDS,
     Executor,
     MultiprocessingExecutor,
     SerialExecutor,
     ShardExecutionError,
+    ThreadExecutor,
     make_executor,
 )
 from .runner import ParallelRunner
@@ -47,10 +49,12 @@ __all__ = [
     "get_default_runtime",
     "set_default_runtime",
     "using_runtime",
+    "EXECUTOR_BACKENDS",
     "Executor",
     "MultiprocessingExecutor",
     "SerialExecutor",
     "ShardExecutionError",
+    "ThreadExecutor",
     "make_executor",
     "ParallelRunner",
     "DEFAULT_SHARD_COUNT",

@@ -1,4 +1,4 @@
-"""Executor backends: one protocol, serial and multiprocessing engines.
+"""Executor backends: serial, multiprocessing and thread-pool engines.
 
 An executor maps a picklable task function over a list of tasks and
 returns the results *in task order* — the property the sharding layer
@@ -11,23 +11,35 @@ The multiprocessing backend prefers the ``fork`` start method where
 available (cheap on Linux, and shard tasks are read-only after fork)
 and falls back to ``spawn`` elsewhere, which is why task functions
 must be module-level (picklable by reference).
+
+The thread backend (``backend="threads"``) skips pickling and process
+spawn entirely.  It pays off when the shard work releases the GIL —
+which the batched NumPy kernels of :mod:`repro.sim.kernels` do for
+their array dispatches — and for small specs where process start-up
+would dominate; pure-Python-bound shards should stay on processes.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import traceback
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .._validation import ensure_positive_int
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "Executor",
     "SerialExecutor",
     "MultiprocessingExecutor",
+    "ThreadExecutor",
     "ShardExecutionError",
     "make_executor",
 ]
+
+#: Valid values of the ``backend`` knob.
+EXECUTOR_BACKENDS = ("processes", "threads")
 
 #: Progress callback signature: ``callback(completed, total)``.
 ProgressCallback = Callable[[int, int], None]
@@ -170,9 +182,65 @@ class MultiprocessingExecutor(Executor):
         return f"MultiprocessingExecutor(workers={self.workers})"
 
 
-def make_executor(workers: int, start_method: Optional[str] = None) -> Executor:
-    """The executor for a worker count: serial at 1, a process pool above."""
+class ThreadExecutor(Executor):
+    """Thread-pool execution via :class:`concurrent.futures.ThreadPoolExecutor`.
+
+    No pickling, no process spawn: tasks run in-process and share
+    memory.  Worth it exactly when the task body releases the GIL —
+    the fused NumPy kernels do — or when the spec is small enough that
+    process start-up would swamp the work.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  The pool never exceeds the task count.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = ensure_positive_int("workers", workers)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pool_size = min(self.workers, len(tasks))
+        if pool_size == 1:
+            return SerialExecutor().map(fn, tasks, progress=progress)
+        payloads = [(fn, task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            # Executor.map preserves submission order — the property
+            # that makes merged results independent of the pool size.
+            outcomes = pool.map(_guarded_call, payloads)
+            return _collect(outcomes, len(tasks), progress)
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(workers={self.workers})"
+
+
+def make_executor(
+    workers: int,
+    start_method: Optional[str] = None,
+    backend: str = "processes",
+) -> Executor:
+    """The executor for a worker count and backend.
+
+    One worker is always the serial reference backend; above that,
+    ``backend="processes"`` builds a :class:`MultiprocessingExecutor`
+    and ``backend="threads"`` a :class:`ThreadExecutor`.
+    """
     workers = ensure_positive_int("workers", workers)
+    if backend not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {EXECUTOR_BACKENDS}, got {backend!r}"
+        )
     if workers == 1:
         return SerialExecutor()
+    if backend == "threads":
+        return ThreadExecutor(workers)
     return MultiprocessingExecutor(workers, start_method)

@@ -43,6 +43,7 @@ def _run_simulation_shard(task: Tuple[SimulationSpec, Shard]) -> EnsembleResult:
         spec.allocation,
         trials=shard.trials,
         seed=RandomSource(shard.seed),
+        kernel=spec.kernel,
     )
     return engine.run(
         spec.horizon,
@@ -74,7 +75,12 @@ class ParallelRunner:
     Parameters
     ----------
     workers:
-        Process count; 1 runs in-process.
+        Worker count; 1 runs in-process.
+    backend:
+        ``"processes"`` (default) or ``"threads"`` — how workers > 1
+        fan out.  Threads suit the GIL-releasing batched kernels and
+        small specs; processes suit Python-bound work.  Either way the
+        merged bits depend only on the shard plan.
     cache:
         A :class:`ResultCache`, a directory path to create one in, or
         None to disable caching.
@@ -110,8 +116,13 @@ class ParallelRunner:
         shards: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
         executor: Optional[Executor] = None,
+        backend: str = "processes",
     ) -> None:
-        self.executor = executor if executor is not None else make_executor(workers)
+        self.executor = (
+            executor
+            if executor is not None
+            else make_executor(workers, backend=backend)
+        )
         if cache is None or isinstance(cache, ResultCache):
             self.cache = cache
         else:

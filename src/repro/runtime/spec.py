@@ -72,6 +72,10 @@ class SimulationSpec:
     events: Tuple[GameEvent, ...] = ()
     seed: SeedLike = None
     record_terminal_stakes: bool = True
+    #: Advance path: "batched" (fused kernels) or "naive" (per-round
+    #: loop).  The two are bit-identical, so the kernel deliberately
+    #: does NOT enter the fingerprint — a cached result answers both.
+    kernel: str = "batched"
 
     def __post_init__(self) -> None:
         if not isinstance(self.protocol, IncentiveProtocol):
@@ -104,6 +108,9 @@ class SimulationSpec:
                     f"{self.horizon}"
                 )
         object.__setattr__(self, "seed", as_seed_sequence(self.seed))
+        from ..sim.kernels import ensure_kernel_mode
+
+        ensure_kernel_mode(self.kernel)
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -204,6 +211,10 @@ def spec_fingerprint(spec: Any, *, shards: Optional[int] = None) -> str:
     ``shards`` is the effective shard count of the plan the result was
     (or would be) produced under; it is part of the address because the
     merged arrays are bit-wise functions of the shard plan.
+
+    ``SimulationSpec.kernel`` is deliberately absent from the payload:
+    batched and naive advances produce bit-identical arrays, so one
+    cached artifact correctly answers both.
     """
     if isinstance(spec, SimulationSpec):
         payload = {

@@ -10,6 +10,9 @@ checkpoints
 events
     Scheduled perturbations (top-up, withdrawal, outage) for
     what-if studies and failure-injection tests.
+kernels
+    Fused batched advance kernels — pre-drawn uniform blocks and
+    scratch-buffer reuse, bit-identical to the per-round loop.
 rng
     Reproducible hierarchical random streams.
 """
@@ -20,6 +23,12 @@ from .checkpoints import (
     validate_checkpoints,
 )
 from .engine import MonteCarloEngine, simulate
+from .kernels import (
+    KERNEL_MODES,
+    ScratchBuffers,
+    batched_advance,
+    ensure_kernel_mode,
+)
 from .persistence import load_result, save_result
 from .events import (
     GameEvent,
@@ -27,12 +36,18 @@ from .events import (
     MinerRecovery,
     StakeTopUp,
     StakeWithdrawal,
+    plan_segments,
 )
 from .rng import RandomSource, make_generator, spawn_generators
 
 __all__ = [
     "MonteCarloEngine",
     "simulate",
+    "KERNEL_MODES",
+    "ScratchBuffers",
+    "batched_advance",
+    "ensure_kernel_mode",
+    "plan_segments",
     "save_result",
     "load_result",
     "linear_checkpoints",

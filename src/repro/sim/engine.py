@@ -5,11 +5,18 @@ miners)`` array operations, recording reward fractions at checkpoints.
 This is the "numerical simulations" half of the paper's evaluation
 (10,000 repeats); :mod:`repro.chainsim` provides the slower
 node-level counterpart of the real-system half.
+
+Each segment between checkpoint/event boundaries advances through the
+fused batched kernels (:mod:`repro.sim.kernels`) by default; the
+``kernel="naive"`` escape hatch runs the original per-round loop
+instead.  The two paths are bit-identical — the knob exists for
+differential testing and as a safety valve, not because results
+differ.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -18,7 +25,8 @@ from ..core.miners import Allocation
 from ..core.results import EnsembleResult
 from ..protocols.base import EnsembleState, IncentiveProtocol
 from .checkpoints import linear_checkpoints, validate_checkpoints
-from .events import GameEvent
+from .events import GameEvent, plan_segments
+from .kernels import batched_advance, ensure_kernel_mode
 from .rng import RandomSource, SeedLike
 
 __all__ = ["MonteCarloEngine", "simulate"]
@@ -39,6 +47,11 @@ class MonteCarloEngine:
     seed:
         Seed, :class:`~repro.sim.rng.RandomSource`, or generator for
         reproducibility.
+    kernel:
+        ``"batched"`` (default) advances segments through the fused
+        kernels of :mod:`repro.sim.kernels`; ``"naive"`` loops the
+        protocol's per-round ``step``.  Bit-identical outputs either
+        way — the naive path is kept for differential testing.
 
     Examples
     --------
@@ -58,6 +71,7 @@ class MonteCarloEngine:
         allocation: Allocation,
         trials: int = 10_000,
         seed: SeedLike = None,
+        kernel: str = "batched",
     ) -> None:
         if not isinstance(protocol, IncentiveProtocol):
             raise TypeError(
@@ -70,6 +84,7 @@ class MonteCarloEngine:
         self.protocol = protocol
         self.allocation = allocation
         self.trials = ensure_positive_int("trials", trials)
+        self.kernel = ensure_kernel_mode(kernel)
         self._source = seed if isinstance(seed, RandomSource) else RandomSource(seed)
 
     def run(
@@ -118,7 +133,7 @@ class MonteCarloEngine:
         fractions = np.empty(
             (self.trials, len(checkpoint_list), self.allocation.size)
         )
-        boundaries = self._segment_boundaries(checkpoint_list, event_list)
+        boundaries = plan_segments(checkpoint_list, event_list)
         checkpoint_positions = {c: i for i, c in enumerate(checkpoint_list)}
         pending_events = list(event_list)
 
@@ -130,7 +145,7 @@ class MonteCarloEngine:
         for boundary in boundaries:
             gap = boundary - previous
             if gap > 0:
-                self.protocol.advance_many(state, gap, rng)
+                self._advance(state, gap, rng)
             previous = boundary
             while pending_events and pending_events[0].round_index == boundary:
                 pending_events.pop(0).apply(state)
@@ -149,19 +164,20 @@ class MonteCarloEngine:
             round_unit=self.protocol.round_unit,
         )
 
-    @staticmethod
-    def _segment_boundaries(
-        checkpoints: Sequence[int], events: Sequence[GameEvent]
-    ) -> List[int]:
-        """Merged, sorted advance boundaries (checkpoints + event rounds)."""
-        boundaries = set(checkpoints)
-        boundaries.update(e.round_index for e in events if e.round_index > 0)
-        return sorted(boundaries)
+    def _advance(
+        self, state: EnsembleState, rounds: int, rng: np.random.Generator
+    ) -> None:
+        """Advance one segment through the configured kernel path."""
+        if self.kernel == "batched":
+            batched_advance(self.protocol, state, rounds, rng)
+        else:
+            self.protocol.advance_many(state, rounds, rng)
 
     def __repr__(self) -> str:
         return (
             f"MonteCarloEngine({self.protocol.name!r}, "
-            f"miners={self.allocation.size}, trials={self.trials})"
+            f"miners={self.allocation.size}, trials={self.trials}, "
+            f"kernel={self.kernel!r})"
         )
 
 
@@ -175,9 +191,12 @@ def simulate(
     events: Sequence[GameEvent] = (),
     seed: SeedLike = None,
     record_terminal_stakes: bool = True,
+    kernel: str = "batched",
 ) -> EnsembleResult:
     """One-call convenience wrapper around :class:`MonteCarloEngine`."""
-    engine = MonteCarloEngine(protocol, allocation, trials=trials, seed=seed)
+    engine = MonteCarloEngine(
+        protocol, allocation, trials=trials, seed=seed, kernel=kernel
+    )
     return engine.run(
         horizon,
         checkpoints,

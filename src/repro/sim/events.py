@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
@@ -27,7 +28,31 @@ from .._validation import (
 )
 from ..protocols.base import EnsembleState
 
-__all__ = ["GameEvent", "StakeTopUp", "StakeWithdrawal", "MinerOutage", "MinerRecovery"]
+__all__ = [
+    "GameEvent",
+    "StakeTopUp",
+    "StakeWithdrawal",
+    "MinerOutage",
+    "MinerRecovery",
+    "plan_segments",
+]
+
+
+def plan_segments(
+    checkpoints: Sequence[int], events: Sequence["GameEvent"]
+) -> List[int]:
+    """Merged, sorted advance boundaries: checkpoints plus event rounds.
+
+    The engine advances the ensemble in one fused
+    :func:`~repro.sim.kernels.batched_advance` call per segment between
+    consecutive boundaries, firing events and recording checkpoints at
+    the boundary itself — which is what lets events compose with
+    arbitrary checkpoint schedules without a per-round loop.  Round-0
+    events fire before the first segment and plant no boundary.
+    """
+    boundaries = set(checkpoints)
+    boundaries.update(e.round_index for e in events if e.round_index > 0)
+    return sorted(boundaries)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,755 @@
+"""Fused batched advance kernels for the Monte Carlo engine.
+
+The naive :meth:`~repro.protocols.base.IncentiveProtocol.advance_many`
+loops ``step`` in Python: every round pays an ``rng.random`` call, a
+fresh ``np.cumsum`` and several ``(trials, miners)`` temporaries, so at
+paper scale (10,000 trials over thousands of rounds per grid cell)
+interpreter and allocator overhead — not arithmetic — dominates.  This
+module fuses whole checkpoint segments into far fewer NumPy dispatches
+while staying **bit-identical** to the per-round loop:
+
+* **Pre-drawn uniform blocks** — ``rng.random((chunk, trials))`` fills
+  an array in C order from the same bit stream as ``chunk`` sequential
+  ``rng.random(trials)`` calls, so batching the draws consumes the
+  generator identically and every downstream comparison sees the same
+  uniforms.  Blocks are chunked (:data:`DEFAULT_CHUNK_ROUNDS` rounds,
+  capped by :data:`DEFAULT_CHUNK_BUDGET_BYTES`) so peak memory stays
+  bounded at 100k-trial scale.
+* **Scratch-buffer reuse** — a :class:`ScratchBuffers` pool hangs off
+  ``state.scratch`` and every inner-loop array op writes into a
+  preallocated buffer (``np.cumsum(..., out=)``, ``np.divide(...,
+  out=)``), so the steady-state loop allocates nothing.
+* **Identical arithmetic** — kernels perform the same floating-point
+  operations in the same order as the naive loop (verified by the
+  differential tests in ``tests/sim/test_kernels.py``).  Where a
+  kernel replaces a scatter ``a[rows, winners] += w`` with a one-hot
+  masked add, the non-winning lanes receive ``+0.0``, which is a
+  bitwise no-op for the non-negative stakes/rewards arrays.
+
+Kernels are registered per concrete protocol class.  Lookup is by
+*exact type* (plus explicitly registered aliases such as
+:class:`~repro.protocols.extended.NeoPoS`): a user-defined subclass
+with different dynamics silently falls back to the naive loop rather
+than risk a wrong fused recurrence.
+
+:func:`batched_advance` is the single entry point; the engine's
+``kernel="batched" | "naive"`` knob selects between it and the plain
+``advance_many`` loop for differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple, Type
+
+import numpy as np
+
+from .._validation import ensure_positive_int
+from ..protocols.base import (
+    EnsembleState,
+    IncentiveProtocol,
+    winners_from_uniforms,
+)
+from ..protocols.c_pos import BlockGranularCompoundPoS, CompoundPoS
+from ..protocols.extended import (
+    AlgorandPoS,
+    EOSDelegatedPoS,
+    FilecoinStorage,
+    NeoPoS,
+    VixifyPoS,
+    WavePoS,
+)
+from ..protocols.fsl_pos import FairSingleLotteryPoS
+from ..protocols.ml_pos import MultiLotteryPoS
+from ..protocols.pow import ProofOfWork
+from ..protocols.sl_pos import SingleLotteryPoS
+from ..protocols.withholding import RewardWithholding
+
+__all__ = [
+    "KERNEL_MODES",
+    "DEFAULT_CHUNK_ROUNDS",
+    "DEFAULT_CHUNK_BUDGET_BYTES",
+    "ScratchBuffers",
+    "batched_advance",
+    "ensure_kernel_mode",
+    "find_kernel",
+    "register_kernel",
+]
+
+#: Valid values of the engine/spec ``kernel`` knob.
+KERNEL_MODES = ("batched", "naive")
+
+#: Upper bound on rounds per pre-drawn uniform block.
+DEFAULT_CHUNK_ROUNDS = 256
+
+#: Cap on the bytes a single pre-drawn block may occupy; at 100k-trial
+#: scale this, not DEFAULT_CHUNK_ROUNDS, bounds the chunk.
+DEFAULT_CHUNK_BUDGET_BYTES = 64 << 20
+
+
+def ensure_kernel_mode(kernel: str) -> str:
+    """Validate a ``kernel`` knob value, returning it unchanged."""
+    if kernel not in KERNEL_MODES:
+        raise ValueError(
+            f"kernel must be one of {KERNEL_MODES}, got {kernel!r}"
+        )
+    return kernel
+
+
+class ScratchBuffers:
+    """A keyed pool of preallocated work arrays.
+
+    Kernels request buffers by name; a buffer is (re)allocated only
+    when first requested or when the requested shape/dtype changes, so
+    across rounds — and across the many ``advance`` segments of one
+    engine run — the inner loops allocate nothing.
+
+    Buffer contents are *not* preserved between ``get`` calls in any
+    contractual sense: every kernel fully overwrites a buffer before
+    reading it.
+    """
+
+    __slots__ = ("_arrays",)
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def get(
+        self, name: str, shape: Tuple[int, ...], dtype=np.float64
+    ) -> np.ndarray:
+        """The buffer registered under ``name``, allocating on demand."""
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        array = self._arrays.get(name)
+        if array is None or array.shape != shape or array.dtype != dtype:
+            array = np.empty(shape, dtype=dtype)
+            self._arrays[name] = array
+        return array
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(array.nbytes for array in self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __repr__(self) -> str:
+        return f"ScratchBuffers(buffers={len(self)}, nbytes={self.nbytes})"
+
+
+# -- chunked pre-drawn uniform blocks -----------------------------------------
+
+
+def _chunk_size(rounds: int, floats_per_round: int, chunk: Optional[int]) -> int:
+    """Rounds per pre-drawn block: explicit, or budget-capped default."""
+    if chunk is None:
+        budget = DEFAULT_CHUNK_BUDGET_BYTES // (8 * max(1, floats_per_round))
+        chunk = max(1, min(DEFAULT_CHUNK_ROUNDS, int(budget)))
+    return max(1, min(chunk, rounds))
+
+
+def _uniform_blocks(
+    rng: np.random.Generator,
+    scratch: ScratchBuffers,
+    name: str,
+    rounds: int,
+    round_shape: Tuple[int, ...],
+    chunk: Optional[int],
+) -> Iterator[np.ndarray]:
+    """Yield ``(n, *round_shape)`` blocks of pre-drawn uniforms.
+
+    ``rng.random(out=block)`` fills the block in C order from the same
+    stream positions as ``n`` sequential ``rng.random(round_shape)``
+    calls, so consuming blocks is bit-identical to the per-round draws
+    of the naive loop — for any chunking.
+    """
+    per_round = 1
+    for extent in round_shape:
+        per_round *= extent
+    size = _chunk_size(rounds, per_round, chunk)
+    block = scratch.get(name, (size,) + tuple(round_shape))
+    done = 0
+    while done < rounds:
+        count = min(size, rounds - done)
+        view = block[:count]
+        rng.random(out=view)
+        yield view
+        done += count
+
+
+# -- registry -----------------------------------------------------------------
+
+KernelFn = Callable[
+    [IncentiveProtocol, EnsembleState, int, np.random.Generator,
+     ScratchBuffers, Optional[int]],
+    None,
+]
+
+_KERNELS: Dict[Type[IncentiveProtocol], KernelFn] = {}
+
+
+def register_kernel(*protocol_types: Type[IncentiveProtocol]):
+    """Class decorator registering a fused kernel for exact types."""
+
+    def decorator(fn: KernelFn) -> KernelFn:
+        for protocol_type in protocol_types:
+            _KERNELS[protocol_type] = fn
+        return fn
+
+    return decorator
+
+
+def find_kernel(protocol: IncentiveProtocol) -> Optional[KernelFn]:
+    """The fused kernel for ``protocol``'s exact class, or None.
+
+    Exact-type lookup (no MRO walk): a subclass may redefine ``step``,
+    and a fused recurrence for the parent would silently diverge from
+    it.  Unknown classes fall back to the naive loop instead.
+    """
+    return _KERNELS.get(type(protocol))
+
+
+def batched_advance(
+    protocol: IncentiveProtocol,
+    state: EnsembleState,
+    rounds: int,
+    rng: np.random.Generator,
+    *,
+    chunk: Optional[int] = None,
+) -> None:
+    """Advance ``state`` by ``rounds`` rounds through the fused kernels.
+
+    Bit-identical to ``protocol.advance_many(state, rounds, rng)`` —
+    same final arrays, same generator position — for every registered
+    protocol and any ``chunk``; unregistered protocols delegate to the
+    naive loop.  ``chunk`` overrides the pre-drawn block length
+    (default: :data:`DEFAULT_CHUNK_ROUNDS`, memory-capped).
+    """
+    rounds = ensure_positive_int("rounds", rounds)
+    if chunk is not None:
+        chunk = ensure_positive_int("chunk", chunk)
+    kernel = find_kernel(protocol)
+    if kernel is None:
+        protocol.advance_many(state, rounds, rng)
+        return
+    if state.scratch is None:
+        state.scratch = ScratchBuffers()
+    kernel(protocol, state, rounds, rng, state.scratch, chunk)
+
+
+# -- closed-form protocols ----------------------------------------------------
+
+
+@register_kernel(ProofOfWork, NeoPoS, AlgorandPoS)
+def _advance_closed_form(protocol, state, rounds, rng, scratch, chunk):
+    """PoW/NEO (multinomial jump) and Algorand (deterministic jump)
+    already advance whole segments in O(1) dispatches; delegate."""
+    protocol.advance_many(state, rounds, rng)
+
+
+# -- proportional lottery on compounding stakes (the Polya urn) ---------------
+
+
+def _advance_polya_two(protocol, state, rounds, rng, scratch, chunk):
+    """ML-PoS two-miner fast path: the paper's headline configuration.
+
+    Per round the naive loop pays ~12 dispatches plus allocations; this
+    recurrence pays 9 allocation-free dispatches on contiguous
+    ``(trials,)`` columns.  Identities relied upon (all bitwise):
+
+    * ``stakes.sum(axis=1)`` for two columns is ``s0 + s1``;
+    * the first CDF entry is ``s0 / total`` and the last is forced to
+      1.0, so with uniforms in ``[0, 1)`` the winner index is exactly
+      ``draw > s0 / total``;
+    * crediting via ``+= w * won`` adds ``+0.0`` on losing lanes — a
+      no-op for the non-negative stakes/rewards arrays.
+    """
+    trials = state.trials
+    reward = protocol.reward
+    stakes_t = scratch.get("polya2_stakes_t", (2, trials))
+    rewards_t = scratch.get("polya2_rewards_t", (2, trials))
+    stakes_t[...] = state.stakes.T
+    rewards_t[...] = state.rewards.T
+    stake_a, stake_b = stakes_t[0], stakes_t[1]
+    reward_a, reward_b = rewards_t[0], rewards_t[1]
+    total = scratch.get("polya2_total", (trials,))
+    cdf_a = scratch.get("polya2_cdf_a", (trials,))
+    gain_b = scratch.get("polya2_gain_b", (trials,))
+    gain_a = scratch.get("polya2_gain_a", (trials,))
+    for block in _uniform_blocks(
+        rng, scratch, "polya2_draws", rounds, (trials,), chunk
+    ):
+        for draws in block:
+            np.add(stake_a, stake_b, out=total)
+            np.divide(stake_a, total, out=cdf_a)
+            np.greater(draws, cdf_a, out=gain_b)  # 1.0 where B wins
+            np.multiply(gain_b, reward, out=gain_b)
+            np.subtract(reward, gain_b, out=gain_a)
+            np.add(reward_b, gain_b, out=reward_b)
+            np.add(stake_b, gain_b, out=stake_b)
+            np.add(reward_a, gain_a, out=reward_a)
+            np.add(stake_a, gain_a, out=stake_a)
+    state.stakes[...] = stakes_t.T
+    state.rewards[...] = rewards_t.T
+    state.round_index += rounds
+
+
+def _advance_polya_many(protocol, state, rounds, rng, scratch, chunk):
+    """ML-PoS general-miner path on a transposed ``(miners, trials)``
+    layout, so reductions and cumulative sums run along contiguous
+    memory (axis-1 ops on ``(trials, miners)`` arrays are strided and
+    no faster than the naive loop).  Reductions over the miner axis
+    add elements in the same index order either way, so the transposed
+    arithmetic is bit-identical."""
+    trials, miners = state.trials, state.miners
+    reward = protocol.reward
+    stakes_t = scratch.get("polya_stakes_t", (miners, trials))
+    rewards_t = scratch.get("polya_rewards_t", (miners, trials))
+    stakes_t[...] = state.stakes.T
+    rewards_t[...] = state.rewards.T
+    total = scratch.get("polya_total", (trials,))
+    shares_t = scratch.get("polya_shares_t", (miners, trials))
+    cdf_t = scratch.get("polya_cdf_t", (miners, trials))
+    above = scratch.get("polya_above", (miners, trials), np.bool_)
+    winners = scratch.get("polya_winners", (trials,), np.int64)
+    one_hot = scratch.get("polya_one_hot", (miners, trials), np.bool_)
+    gain_t = scratch.get("polya_gain_t", (miners, trials))
+    columns = scratch.get("polya_columns", (miners, 1), np.int64)
+    columns[...] = np.arange(miners)[:, None]
+    for block in _uniform_blocks(
+        rng, scratch, "polya_draws", rounds, (trials,), chunk
+    ):
+        for draws in block:
+            np.sum(stakes_t, axis=0, out=total)
+            np.divide(stakes_t, total, out=shares_t)
+            np.cumsum(shares_t, axis=0, out=cdf_t)
+            cdf_t[-1, :] = 1.0
+            np.greater(draws, cdf_t, out=above)
+            np.sum(above, axis=0, out=winners)
+            np.equal(columns, winners, out=one_hot)
+            np.multiply(one_hot, reward, out=gain_t)
+            np.add(rewards_t, gain_t, out=rewards_t)
+            np.add(stakes_t, gain_t, out=stakes_t)
+    state.stakes[...] = stakes_t.T
+    state.rewards[...] = rewards_t.T
+    state.round_index += rounds
+
+
+def _advance_categorical(protocol, state, rounds, rng, scratch, chunk):
+    """Semi-fused path for categorical lotteries with a per-round law
+    that is cheapest to obtain from ``protocol.win_probabilities``
+    (ML-PoS exact race, Filecoin's mixed mining power): batch the
+    uniforms, keep the per-round law/credit calls verbatim."""
+    for block in _uniform_blocks(
+        rng, scratch, "categorical_draws", rounds, (state.trials,), chunk
+    ):
+        for draws in block:
+            winners = winners_from_uniforms(
+                protocol.win_probabilities(state), draws
+            )
+            protocol.credit_reward(state, winners)
+            state.round_index += 1
+
+
+@register_kernel(MultiLotteryPoS)
+def _advance_ml_pos(protocol, state, rounds, rng, scratch, chunk):
+    if protocol.exact_race:
+        _advance_categorical(protocol, state, rounds, rng, scratch, chunk)
+    elif state.miners == 2:
+        _advance_polya_two(protocol, state, rounds, rng, scratch, chunk)
+    else:
+        _advance_polya_many(protocol, state, rounds, rng, scratch, chunk)
+
+
+@register_kernel(FilecoinStorage)
+def _advance_filecoin(protocol, state, rounds, rng, scratch, chunk):
+    """Filecoin's mixed mining power, fused on the transposed layout.
+
+    The storage term is bitwise-constant across an advance (storage
+    never changes and the naive loop recomputes the identical values
+    every round), so ``theta * storage_shares`` is hoisted out of the
+    loop; the per-round stake term, normalisation, inverse-CDF draw
+    and credit all run allocation-free."""
+    trials, miners = state.trials, state.miners
+    reward = protocol.reward
+    theta = protocol.storage_weight
+    stake_weight = 1.0 - protocol.storage_weight
+    stakes_t = scratch.get("filecoin_stakes_t", (miners, trials))
+    rewards_t = scratch.get("filecoin_rewards_t", (miners, trials))
+    stakes_t[...] = state.stakes.T
+    rewards_t[...] = state.rewards.T
+    storage_t = scratch.get("filecoin_storage_t", (miners, trials))
+    storage_t[...] = state.extra["storage"].T
+    total = scratch.get("filecoin_total", (trials,))
+    storage_term = scratch.get("filecoin_storage_term", (miners, trials))
+    np.sum(storage_t, axis=0, out=total)
+    np.divide(storage_t, total, out=storage_term)
+    np.multiply(storage_term, theta, out=storage_term)
+    power_t = scratch.get("filecoin_power_t", (miners, trials))
+    cdf_t = scratch.get("filecoin_cdf_t", (miners, trials))
+    above = scratch.get("filecoin_above", (miners, trials), np.bool_)
+    winners = scratch.get("filecoin_winners", (trials,), np.int64)
+    one_hot = scratch.get("filecoin_one_hot", (miners, trials), np.bool_)
+    gain_t = scratch.get("filecoin_gain_t", (miners, trials))
+    columns = scratch.get("filecoin_columns", (miners, 1), np.int64)
+    columns[...] = np.arange(miners)[:, None]
+    for block in _uniform_blocks(
+        rng, scratch, "filecoin_draws", rounds, (trials,), chunk
+    ):
+        for draws in block:
+            np.sum(stakes_t, axis=0, out=total)
+            np.divide(stakes_t, total, out=power_t)
+            np.multiply(power_t, stake_weight, out=power_t)
+            np.add(storage_term, power_t, out=power_t)
+            np.sum(power_t, axis=0, out=total)
+            np.divide(power_t, total, out=power_t)
+            np.cumsum(power_t, axis=0, out=cdf_t)
+            cdf_t[-1, :] = 1.0
+            np.greater(draws, cdf_t, out=above)
+            np.sum(above, axis=0, out=winners)
+            np.equal(columns, winners, out=one_hot)
+            np.multiply(one_hot, reward, out=gain_t)
+            np.add(rewards_t, gain_t, out=rewards_t)
+            np.add(stakes_t, gain_t, out=stakes_t)
+    state.stakes[...] = stakes_t.T
+    state.rewards[...] = rewards_t.T
+    state.round_index += rounds
+
+
+# -- earliest-deadline lotteries ----------------------------------------------
+
+
+def _exponentiate_block(block: np.ndarray) -> None:
+    """Turn a block of uniforms into exponential numerators, in place.
+
+    ``-log1p(-u) = -ln(1 - u)`` — the FSL-PoS inverse transform.  The
+    op sequence matches the naive sampler exactly, and the transform
+    is elementwise, so hoisting it from the per-round loop to the
+    whole pre-drawn block yields identical values."""
+    np.negative(block, out=block)
+    np.log1p(block, out=block)
+    np.negative(block, out=block)
+
+
+def _advance_deadline_two(
+    protocol, state, rounds, rng, scratch, chunk, *, exponential: bool
+):
+    """Two-miner earliest-deadline fast path.
+
+    ``argmin`` over two columns is exactly the strict comparison
+    ``deadline_B < deadline_A`` (ties resolve to index 0 either way,
+    and occur with probability zero), so a round reduces to two column
+    divides, one compare and four adds on contiguous ``(trials,)``
+    arrays — the ``+0.0`` on losing lanes is a bitwise no-op for the
+    non-negative stakes/rewards."""
+    trials = state.trials
+    reward = protocol.reward
+    stakes_t = scratch.get("deadline2_stakes_t", (2, trials))
+    rewards_t = scratch.get("deadline2_rewards_t", (2, trials))
+    stakes_t[...] = state.stakes.T
+    rewards_t[...] = state.rewards.T
+    stake_a, stake_b = stakes_t[0], stakes_t[1]
+    reward_a, reward_b = rewards_t[0], rewards_t[1]
+    deadline_a = scratch.get("deadline2_a", (trials,))
+    deadline_b = scratch.get("deadline2_b", (trials,))
+    gain_b = scratch.get("deadline2_gain_b", (trials,))
+    gain_a = scratch.get("deadline2_gain_a", (trials,))
+    for block in _uniform_blocks(
+        rng, scratch, "deadline_draws", rounds, (trials, 2), chunk
+    ):
+        if exponential:
+            _exponentiate_block(block)
+        for numerators in block:
+            np.divide(numerators[:, 0], stake_a, out=deadline_a)
+            np.divide(numerators[:, 1], stake_b, out=deadline_b)
+            np.less(deadline_b, deadline_a, out=gain_b)  # 1.0 where B wins
+            np.multiply(gain_b, reward, out=gain_b)
+            np.subtract(reward, gain_b, out=gain_a)
+            np.add(reward_b, gain_b, out=reward_b)
+            np.add(stake_b, gain_b, out=stake_b)
+            np.add(reward_a, gain_a, out=reward_a)
+            np.add(stake_a, gain_a, out=stake_a)
+    state.stakes[...] = stakes_t.T
+    state.rewards[...] = rewards_t.T
+    state.round_index += rounds
+
+
+def _advance_deadline(
+    protocol, state, rounds, rng, scratch, chunk, *, exponential: bool
+):
+    """SL-PoS (uniform deadlines) and FSL-PoS/Wave/Vixify (exponential
+    deadlines): pre-draw ``(chunk, trials, miners)`` uniforms, compute
+    deadlines in place, arg-min, credit via one-hot adds."""
+    if state.miners == 2:
+        _advance_deadline_two(
+            protocol, state, rounds, rng, scratch, chunk,
+            exponential=exponential,
+        )
+        return
+    trials, miners = state.trials, state.miners
+    reward = protocol.reward
+    deadlines = scratch.get("deadline_buf", (trials, miners))
+    winners = scratch.get("deadline_winners", (trials,), np.intp)
+    one_hot = scratch.get("deadline_one_hot", (trials, miners), np.bool_)
+    gain = scratch.get("deadline_gain", (trials, miners))
+    columns = scratch.get("deadline_columns", (miners,), np.intp)
+    columns[...] = np.arange(miners)
+    for block in _uniform_blocks(
+        rng, scratch, "deadline_draws", rounds, (trials, miners), chunk
+    ):
+        if exponential:
+            _exponentiate_block(block)
+        for numerators in block:
+            np.divide(numerators, state.stakes, out=deadlines)
+            np.argmin(deadlines, axis=1, out=winners)
+            np.equal(winners[:, None], columns, out=one_hot)
+            np.multiply(one_hot, reward, out=gain)
+            np.add(state.rewards, gain, out=state.rewards)
+            np.add(state.stakes, gain, out=state.stakes)
+    state.round_index += rounds
+
+
+@register_kernel(SingleLotteryPoS)
+def _advance_sl_pos(protocol, state, rounds, rng, scratch, chunk):
+    _advance_deadline(
+        protocol, state, rounds, rng, scratch, chunk, exponential=False
+    )
+
+
+@register_kernel(FairSingleLotteryPoS, WavePoS, VixifyPoS)
+def _advance_fsl_pos(protocol, state, rounds, rng, scratch, chunk):
+    _advance_deadline(
+        protocol, state, rounds, rng, scratch, chunk, exponential=True
+    )
+
+
+# -- compound PoS -------------------------------------------------------------
+
+
+@register_kernel(CompoundPoS)
+def _advance_c_pos(protocol, state, rounds, rng, scratch, chunk):
+    """C-PoS epoch loop with scratch reuse.  The multinomial proposer
+    draw depends on the evolving shares, so it stays a per-epoch
+    ``rng.multinomial`` call (same consumption as the naive loop); the
+    share/income arithmetic runs allocation-free."""
+    trials, miners = state.trials, state.miners
+    proposer_reward = protocol.proposer_reward
+    inflation_reward = protocol.inflation_reward
+    shards = protocol.shards
+    total = scratch.get("cpos_total", (trials, 1))
+    shares = scratch.get("cpos_shares", (trials, miners))
+    income = scratch.get("cpos_income", (trials, miners))
+    inflation = scratch.get("cpos_inflation", (trials, miners))
+    for _ in range(rounds):
+        np.sum(state.stakes, axis=1, keepdims=True, out=total)
+        np.divide(state.stakes, total, out=shares)
+        shard_wins = rng.multinomial(shards, shares)
+        np.multiply(shard_wins, proposer_reward, out=income)
+        np.divide(income, shards, out=income)
+        np.multiply(shares, inflation_reward, out=inflation)
+        np.add(income, inflation, out=income)
+        np.add(state.rewards, income, out=state.rewards)
+        np.add(state.stakes, income, out=state.stakes)
+        state.round_index += 1
+
+
+@register_kernel(BlockGranularCompoundPoS)
+def _advance_c_pos_block(protocol, state, rounds, rng, scratch, chunk):
+    """Block-granular C-PoS: the committee CDF is frozen for a whole
+    epoch, so it is computed once per epoch instead of once per block;
+    proposer draws come from pre-drawn uniform blocks."""
+    trials, miners = state.trials, state.miners
+    shards = protocol.shards
+    block_reward = protocol.proposer_reward / shards
+    inflation_reward = protocol.inflation_reward
+    cdf = scratch.get("cposb_cdf", (trials, miners))
+    above = scratch.get("cposb_above", (trials, miners), np.bool_)
+    winners = scratch.get("cposb_winners", (trials,), np.int64)
+    one_hot = scratch.get("cposb_one_hot", (trials, miners), np.bool_)
+    gain = scratch.get("cposb_gain", (trials, miners))
+    inflation = scratch.get("cposb_inflation", (trials, miners))
+    columns = scratch.get("cposb_columns", (miners,), np.int64)
+    columns[...] = np.arange(miners)
+    # A segment may start mid-epoch: rebuild the CDF of the stored
+    # committee shares before the first block either way.
+    refresh_cdf = True
+    for block in _uniform_blocks(
+        rng, scratch, "cposb_draws", rounds, (trials,), chunk
+    ):
+        for draws in block:
+            position = state.round_index % shards
+            if position == 0:
+                # New epoch: committee drawn from the current stakes.
+                state.extra["epoch_shares"] = state.stake_shares()
+                refresh_cdf = True
+            shares = state.extra["epoch_shares"]
+            if refresh_cdf:
+                np.cumsum(shares, axis=1, out=cdf)
+                cdf[:, -1] = 1.0
+                refresh_cdf = False
+            np.greater(draws[:, None], cdf, out=above)
+            np.sum(above, axis=1, out=winners)
+            np.equal(winners[:, None], columns, out=one_hot)
+            np.multiply(one_hot, block_reward, out=gain)
+            np.add(state.rewards, gain, out=state.rewards)
+            np.add(state.stakes, gain, out=state.stakes)
+            if position == shards - 1 and inflation_reward > 0.0:
+                np.multiply(shares, inflation_reward, out=inflation)
+                np.add(state.rewards, inflation, out=state.rewards)
+                np.add(state.stakes, inflation, out=state.stakes)
+            state.round_index += 1
+
+
+# -- delegate committee -------------------------------------------------------
+
+
+@register_kernel(EOSDelegatedPoS)
+def _advance_eos(protocol, state, rounds, rng, scratch, chunk):
+    """EOS epochs are deterministic given the shares; no draws to
+    batch, but the share/income arithmetic runs allocation-free on the
+    transposed layout (contiguous reductions)."""
+    trials, miners = state.trials, state.miners
+    flat = protocol._proposer_reward / miners
+    inflation_reward = protocol._inflation_reward
+    stakes_t = scratch.get("eos_stakes_t", (miners, trials))
+    rewards_t = scratch.get("eos_rewards_t", (miners, trials))
+    stakes_t[...] = state.stakes.T
+    rewards_t[...] = state.rewards.T
+    total = scratch.get("eos_total", (trials,))
+    income_t = scratch.get("eos_income_t", (miners, trials))
+    for _ in range(rounds):
+        np.sum(stakes_t, axis=0, out=total)
+        np.divide(stakes_t, total, out=income_t)
+        np.multiply(income_t, inflation_reward, out=income_t)
+        np.add(income_t, flat, out=income_t)
+        np.add(rewards_t, income_t, out=rewards_t)
+        if protocol.compound:
+            np.add(stakes_t, income_t, out=stakes_t)
+        state.round_index += 1
+    state.stakes[...] = stakes_t.T
+    state.rewards[...] = rewards_t.T
+
+
+# -- reward withholding -------------------------------------------------------
+
+
+def _withhold_winners_categorical(inner, state, uniforms):
+    """Winner indices for categorical inners, from given uniforms."""
+    return winners_from_uniforms(inner.win_probabilities(state), uniforms)
+
+
+def _withhold_winners_uniform_deadline(inner, state, uniforms):
+    return np.argmin(uniforms / state.stakes, axis=1)
+
+
+def _withhold_winners_exponential_deadline(inner, state, uniforms):
+    return np.argmin(-np.log1p(-uniforms) / state.stakes, axis=1)
+
+
+#: Exact inner type -> (per-round uniform layout, winner function).
+#: "proportional" inners (win law = stake_shares of the *vested*
+#: stakes) get the fully fused transposed path instead of a winner fn.
+_WITHHOLD_SAMPLERS = {
+    MultiLotteryPoS: ("proportional", None),
+    ProofOfWork: ("proportional", None),
+    NeoPoS: ("proportional", None),
+    FilecoinStorage: ("trial", _withhold_winners_categorical),
+    SingleLotteryPoS: ("trial_miner", _withhold_winners_uniform_deadline),
+    FairSingleLotteryPoS: ("trial_miner", _withhold_winners_exponential_deadline),
+    WavePoS: ("trial_miner", _withhold_winners_exponential_deadline),
+    VixifyPoS: ("trial_miner", _withhold_winners_exponential_deadline),
+}
+
+
+def _advance_withholding_proportional(
+    protocol, state, rounds, rng, scratch, chunk
+):
+    """Fused path for withholding over a proportional inner lottery
+    (ML-PoS, PoW, NEO — their win law is ``stake_shares`` of the
+    vested stakes).  Transposed layout for contiguous reductions;
+    credits land in rewards and the pending-vesting buffer, and the
+    buffer folds into stakes at period boundaries exactly as the
+    wrapper's ``credit_reward`` does."""
+    trials, miners = state.trials, state.miners
+    reward = protocol.reward
+    period = protocol.vesting_period
+    pending = state.extra["pending"]
+    stakes_t = scratch.get("withhold_stakes_t", (miners, trials))
+    rewards_t = scratch.get("withhold_rewards_t", (miners, trials))
+    pending_t = scratch.get("withhold_pending_t", (miners, trials))
+    stakes_t[...] = state.stakes.T
+    rewards_t[...] = state.rewards.T
+    pending_t[...] = pending.T
+    total = scratch.get("withhold_total", (trials,))
+    shares_t = scratch.get("withhold_shares_t", (miners, trials))
+    cdf_t = scratch.get("withhold_cdf_t", (miners, trials))
+    above = scratch.get("withhold_above", (miners, trials), np.bool_)
+    winners = scratch.get("withhold_winners", (trials,), np.int64)
+    one_hot = scratch.get("withhold_one_hot_t", (miners, trials), np.bool_)
+    gain_t = scratch.get("withhold_gain_t", (miners, trials))
+    columns = scratch.get("withhold_columns_t", (miners, 1), np.int64)
+    columns[...] = np.arange(miners)[:, None]
+    for block in _uniform_blocks(
+        rng, scratch, "withhold_draws", rounds, (trials,), chunk
+    ):
+        for draws in block:
+            np.sum(stakes_t, axis=0, out=total)
+            np.divide(stakes_t, total, out=shares_t)
+            np.cumsum(shares_t, axis=0, out=cdf_t)
+            cdf_t[-1, :] = 1.0
+            np.greater(draws, cdf_t, out=above)
+            np.sum(above, axis=0, out=winners)
+            np.equal(columns, winners, out=one_hot)
+            np.multiply(one_hot, reward, out=gain_t)
+            np.add(rewards_t, gain_t, out=rewards_t)
+            np.add(pending_t, gain_t, out=pending_t)
+            if (state.round_index + 1) % period == 0:
+                np.add(stakes_t, pending_t, out=stakes_t)
+                pending_t[...] = 0.0
+            state.round_index += 1
+    state.stakes[...] = stakes_t.T
+    state.rewards[...] = rewards_t.T
+    pending[...] = pending_t.T
+
+
+@register_kernel(RewardWithholding)
+def _advance_withholding(protocol, state, rounds, rng, scratch, chunk):
+    """Vesting wrapper: batch the inner lottery's uniforms; replay the
+    wrapper's credit/vesting logic round by round (vesting boundaries
+    depend on the running round index)."""
+    sampler = _WITHHOLD_SAMPLERS.get(type(protocol.inner))
+    if sampler is None:
+        protocol.advance_many(state, rounds, rng)
+        return
+    layout, winner_fn = sampler
+    if layout == "proportional":
+        inner = protocol.inner
+        if isinstance(inner, MultiLotteryPoS) and inner.exact_race:
+            layout, winner_fn = "trial", _withhold_winners_categorical
+        else:
+            _advance_withholding_proportional(
+                protocol, state, rounds, rng, scratch, chunk
+            )
+            return
+    trials, miners = state.trials, state.miners
+    reward = protocol.reward
+    period = protocol.vesting_period
+    pending = state.extra["pending"]
+    round_shape = (trials,) if layout == "trial" else (trials, miners)
+    one_hot = scratch.get("withhold_one_hot", (trials, miners), np.bool_)
+    gain = scratch.get("withhold_gain", (trials, miners))
+    columns = scratch.get("withhold_columns", (miners,), np.intp)
+    columns[...] = np.arange(miners)
+    for block in _uniform_blocks(
+        rng, scratch, "withhold_draws", rounds, round_shape, chunk
+    ):
+        for uniforms in block:
+            winners = winner_fn(protocol.inner, state, uniforms)
+            np.equal(winners[:, None], columns, out=one_hot)
+            np.multiply(one_hot, reward, out=gain)
+            np.add(state.rewards, gain, out=state.rewards)
+            np.add(pending, gain, out=pending)
+            if (state.round_index + 1) % period == 0:
+                state.stakes += pending
+                pending[:] = 0.0
+            state.round_index += 1

@@ -118,3 +118,80 @@ class TestMiningGame:
         )
         assert report.epsilon == 0.5
         assert report.delta == 0.5
+
+
+class TestSimulateKnobForwarding:
+    """simulate/play must forward every knob on both execution paths."""
+
+    def test_events_forwarded_on_serial_path(self, two_miners):
+        from repro.sim.events import StakeTopUp
+
+        game = MiningGame(ProofOfWork(0.01), two_miners)
+        boosted = game.simulate(
+            horizon=200, trials=400, seed=5,
+            events=(StakeTopUp(round_index=0, miner=0, amount=0.3),),
+        )
+        plain = game.simulate(horizon=200, trials=400, seed=5)
+        assert (
+            boosted.final_fractions().mean() > plain.final_fractions().mean()
+        )
+
+    def test_events_forwarded_on_sharded_path(self, two_miners, tmp_path):
+        from repro.sim.events import StakeTopUp
+
+        game = MiningGame(ProofOfWork(0.01), two_miners)
+        boosted = game.simulate(
+            horizon=200, trials=400, seed=5, cache=tmp_path,
+            events=(StakeTopUp(round_index=0, miner=0, amount=0.3),),
+        )
+        plain = game.simulate(
+            horizon=200, trials=400, seed=5, cache=tmp_path
+        )
+        assert (
+            boosted.final_fractions().mean() > plain.final_fractions().mean()
+        )
+
+    def test_record_terminal_stakes_forwarded_both_paths(
+        self, two_miners, tmp_path
+    ):
+        game = MiningGame(MultiLotteryPoS(0.01), two_miners)
+        serial = game.simulate(
+            horizon=50, trials=20, seed=1, record_terminal_stakes=False
+        )
+        sharded = game.simulate(
+            horizon=50, trials=20, seed=1, record_terminal_stakes=False,
+            cache=tmp_path,
+        )
+        assert serial.terminal_stakes is None
+        assert sharded.terminal_stakes is None
+
+    def test_backend_without_workers_raises(self, two_miners):
+        game = MiningGame(MultiLotteryPoS(0.01), two_miners)
+        with pytest.raises(ValueError, match="backend"):
+            game.simulate(horizon=50, trials=20, seed=1, backend="threads")
+
+    def test_threads_backend_accepted_with_workers(self, two_miners):
+        game = MiningGame(MultiLotteryPoS(0.01), two_miners)
+        result = game.simulate(
+            horizon=50, trials=20, seed=1, workers=2, backend="threads"
+        )
+        assert result.trials == 20
+
+    def test_unknown_kernel_raises_both_paths(self, two_miners):
+        game = MiningGame(MultiLotteryPoS(0.01), two_miners)
+        with pytest.raises(ValueError, match="kernel"):
+            game.simulate(horizon=50, trials=20, seed=1, kernel="fast")
+        with pytest.raises(ValueError, match="kernel"):
+            game.simulate(
+                horizon=50, trials=20, seed=1, workers=2, kernel="fast"
+            )
+
+    def test_play_forwards_events(self, two_miners):
+        from repro.sim.events import StakeTopUp
+
+        game = MiningGame(ProofOfWork(0.01), two_miners)
+        report = game.play(
+            horizon=200, trials=400, seed=5,
+            events=(StakeTopUp(round_index=0, miner=0, amount=0.3),),
+        )
+        assert report.expectational.sample_mean > 0.25

@@ -1,11 +1,13 @@
-"""Tests for repro.runtime.executor — serial/multiprocessing backends."""
+"""Tests for repro.runtime.executor — serial/process/thread backends."""
 
 import pytest
 
 from repro.runtime.executor import (
+    EXECUTOR_BACKENDS,
     MultiprocessingExecutor,
     SerialExecutor,
     ShardExecutionError,
+    ThreadExecutor,
     make_executor,
 )
 
@@ -83,6 +85,37 @@ class TestMultiprocessingExecutor:
             MultiprocessingExecutor(0)
 
 
+class TestThreadExecutor:
+    def test_matches_serial_results_in_order(self):
+        tasks = list(range(20))
+        assert ThreadExecutor(4).map(square, tasks) == [x * x for x in tasks]
+
+    def test_empty_tasks(self):
+        assert ThreadExecutor(4).map(square, []) == []
+
+    def test_single_task_degrades_to_serial(self):
+        assert ThreadExecutor(4).map(square, [3]) == [9]
+
+    def test_error_aggregation(self):
+        with pytest.raises(ShardExecutionError) as excinfo:
+            ThreadExecutor(2).map(fail_on_odd, [0, 1, 2, 3])
+        assert [index for index, _, _ in excinfo.value.failures] == [1, 3]
+        assert "odd input 3" in str(excinfo.value)
+
+    def test_progress_callback_fires_in_order(self):
+        seen = []
+        ThreadExecutor(2).map(
+            square,
+            list(range(4)),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)
+
+
 class TestMakeExecutor:
     def test_one_worker_is_serial(self):
         assert isinstance(make_executor(1), SerialExecutor)
@@ -91,6 +124,19 @@ class TestMakeExecutor:
         executor = make_executor(4)
         assert isinstance(executor, MultiprocessingExecutor)
         assert executor.workers == 4
+
+    def test_threads_backend(self):
+        executor = make_executor(4, backend="threads")
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.workers == 4
+
+    def test_one_worker_is_serial_for_any_backend(self):
+        for backend in EXECUTOR_BACKENDS:
+            assert isinstance(make_executor(1, backend=backend), SerialExecutor)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            make_executor(4, backend="rayon")
 
     def test_rejects_zero(self):
         with pytest.raises(ValueError):

@@ -66,6 +66,41 @@ class TestRunSimulation:
         result = ParallelRunner(workers=1).run(spec, shards=2)
         assert result.terminal_stakes is None
 
+    def test_threads_backend_matches_processes_bits(self):
+        spec = make_spec()
+        processes = ParallelRunner(workers=2, backend="processes").run(
+            spec, shards=4
+        )
+        threads = ParallelRunner(workers=2, backend="threads").run(
+            spec, shards=4
+        )
+        np.testing.assert_array_equal(
+            processes.reward_fractions, threads.reward_fractions
+        )
+        np.testing.assert_array_equal(
+            processes.terminal_stakes, threads.terminal_stakes
+        )
+
+    def test_kernel_knob_does_not_change_merged_bits(self):
+        # The spec's kernel selects the advance path per shard; results
+        # (and hence cache addresses) are bit-identical either way.
+        from repro.runtime.spec import spec_fingerprint
+
+        naive_spec = make_spec(kernel="naive")
+        batched_spec = make_spec(kernel="batched")
+        naive = ParallelRunner(workers=1).run(naive_spec, shards=3)
+        batched = ParallelRunner(workers=1).run(batched_spec, shards=3)
+        np.testing.assert_array_equal(
+            naive.reward_fractions, batched.reward_fractions
+        )
+        assert spec_fingerprint(naive_spec, shards=3) == spec_fingerprint(
+            batched_spec, shards=3
+        )
+
+    def test_spec_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="kernel"):
+            make_spec(kernel="fused")
+
     def test_default_shard_plan_is_workers_independent(self):
         spec = make_spec()
         one = ParallelRunner(workers=1).run(spec)

@@ -1,0 +1,334 @@
+"""Tests for repro.sim.kernels — fused batched advance kernels.
+
+The load-bearing guarantee is *bit-identity*: for every protocol, any
+event/checkpoint schedule and any chunking, the batched kernels must
+produce exactly the arrays (and leave the generator at exactly the
+stream position) of the naive per-round loop.  The differential golden
+tests below enforce it protocol by protocol; a hypothesis property
+fuzzes the chunk size.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.miners import Allocation
+from repro.protocols import (
+    AlgorandPoS,
+    BlockGranularCompoundPoS,
+    CompoundPoS,
+    EOSDelegatedPoS,
+    FairSingleLotteryPoS,
+    FilecoinStorage,
+    MultiLotteryPoS,
+    NeoPoS,
+    ProofOfWork,
+    RewardWithholding,
+    SingleLotteryPoS,
+    VixifyPoS,
+    WavePoS,
+)
+from repro.sim.engine import MonteCarloEngine, simulate
+from repro.sim.events import StakeTopUp, StakeWithdrawal
+from repro.sim.kernels import (
+    DEFAULT_CHUNK_ROUNDS,
+    KERNEL_MODES,
+    ScratchBuffers,
+    batched_advance,
+    ensure_kernel_mode,
+    find_kernel,
+)
+
+TRIALS = 48
+HORIZON = 60
+
+#: Every incentive model in the library, keyed for test ids.  The
+#: differential tests sweep all of them — the seven core models plus
+#: the Section 6.4 extensions and the withholding wrapper over each
+#: distinct inner sampler.
+PROTOCOL_FACTORIES = {
+    "pow": lambda: ProofOfWork(0.01),
+    "ml-pos": lambda: MultiLotteryPoS(0.01),
+    "ml-pos-exact": lambda: MultiLotteryPoS(0.02, exact_race=True),
+    "sl-pos": lambda: SingleLotteryPoS(0.01),
+    "fsl-pos": lambda: FairSingleLotteryPoS(0.01),
+    "c-pos": lambda: CompoundPoS(0.01, 0.1, shards=4),
+    "c-pos-block": lambda: BlockGranularCompoundPoS(0.01, 0.1, shards=4),
+    "algorand": lambda: AlgorandPoS(0.05),
+    "eos": lambda: EOSDelegatedPoS(0.01, 0.05),
+    "neo": lambda: NeoPoS(0.01),
+    "wave": lambda: WavePoS(0.01),
+    "vixify": lambda: VixifyPoS(0.01),
+    "filecoin": lambda: FilecoinStorage(0.01, storage_weight=0.5),
+    "withhold-ml": lambda: RewardWithholding(
+        MultiLotteryPoS(0.05), vesting_period=7
+    ),
+    "withhold-sl": lambda: RewardWithholding(
+        SingleLotteryPoS(0.05), vesting_period=7
+    ),
+    "withhold-fsl": lambda: RewardWithholding(
+        FairSingleLotteryPoS(0.05), vesting_period=7
+    ),
+    "withhold-pow": lambda: RewardWithholding(
+        ProofOfWork(0.05), vesting_period=7
+    ),
+}
+
+#: (checkpoints, events) schedules the differential sweep runs under.
+SCENARIOS = {
+    "default": dict(checkpoints=None, events=()),
+    "custom-checkpoints": dict(checkpoints=(7, 13, 40, HORIZON), events=()),
+    "events": dict(
+        checkpoints=(10, 30, HORIZON),
+        events=(
+            StakeTopUp(round_index=9, miner=1, amount=0.3),
+            StakeWithdrawal(round_index=31, miner=0, fraction=0.5),
+        ),
+    ),
+}
+
+
+def allocation_for(miners: int) -> Allocation:
+    if miners == 2:
+        return Allocation.two_miners(0.2)
+    return Allocation.focal_vs_equal(0.2, miners)
+
+
+def run_pair(factory, miners, scenario, seed=13):
+    """The same simulation through the naive and the batched kernels."""
+    kwargs = SCENARIOS[scenario]
+    naive = simulate(
+        factory(), allocation_for(miners), HORIZON,
+        trials=TRIALS, seed=seed, kernel="naive", **kwargs,
+    )
+    batched = simulate(
+        factory(), allocation_for(miners), HORIZON,
+        trials=TRIALS, seed=seed, kernel="batched", **kwargs,
+    )
+    return naive, batched
+
+
+class TestDifferentialGolden:
+    """Batched output is bit-identical to naive for every protocol."""
+
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize("miners", [2, 5])
+    @pytest.mark.parametrize("name", sorted(PROTOCOL_FACTORIES))
+    def test_bit_identical(self, name, miners, scenario):
+        if name == "ml-pos-exact" and miners != 2:
+            pytest.skip("exact_race is only defined for two-miner games")
+        factory = PROTOCOL_FACTORIES[name]
+        naive, batched = run_pair(factory, miners, scenario)
+        np.testing.assert_array_equal(
+            naive.reward_fractions, batched.reward_fractions
+        )
+        np.testing.assert_array_equal(
+            naive.terminal_stakes, batched.terminal_stakes
+        )
+
+    @pytest.mark.parametrize("name", ["ml-pos", "sl-pos", "c-pos-block"])
+    def test_generator_position_identical(self, name):
+        # Both paths must consume the stream identically, so a draw
+        # *after* the advance agrees too.
+        factory = PROTOCOL_FACTORIES[name]
+        allocation = allocation_for(2)
+        outcomes = []
+        for kernel in KERNEL_MODES:
+            protocol = factory()
+            state = protocol.make_state(allocation, TRIALS)
+            rng = np.random.default_rng(99)
+            if kernel == "batched":
+                batched_advance(protocol, state, HORIZON, rng)
+            else:
+                protocol.advance_many(state, HORIZON, rng)
+            outcomes.append((state.rewards.copy(), rng.random(4)))
+        np.testing.assert_array_equal(outcomes[0][0], outcomes[1][0])
+        np.testing.assert_array_equal(outcomes[0][1], outcomes[1][1])
+
+    def test_withholding_pending_identical(self):
+        # The wrapper's vesting buffer is part of the dynamics; it must
+        # match exactly (vesting_period 7 leaves a mid-period residue).
+        allocation = allocation_for(2)
+        states = []
+        for kernel in KERNEL_MODES:
+            protocol = RewardWithholding(MultiLotteryPoS(0.05), vesting_period=7)
+            state = protocol.make_state(allocation, TRIALS)
+            rng = np.random.default_rng(3)
+            if kernel == "batched":
+                batched_advance(protocol, state, 40, rng)
+            else:
+                protocol.advance_many(state, 40, rng)
+            states.append(state)
+        np.testing.assert_array_equal(
+            states[0].extra["pending"], states[1].extra["pending"]
+        )
+        np.testing.assert_array_equal(states[0].stakes, states[1].stakes)
+
+    def test_segmented_advance_matches_single_advance(self):
+        # Splitting the horizon into many fused segments (as the engine
+        # does at checkpoints) must not change the bits either.
+        allocation = allocation_for(2)
+        protocol = MultiLotteryPoS(0.01)
+        whole = protocol.make_state(allocation, TRIALS)
+        rng = np.random.default_rng(5)
+        batched_advance(protocol, whole, HORIZON, rng)
+        pieces = protocol.make_state(allocation, TRIALS)
+        rng = np.random.default_rng(5)
+        for gap in (13, 7, 20, HORIZON - 40):
+            batched_advance(protocol, pieces, gap, rng)
+        np.testing.assert_array_equal(whole.rewards, pieces.rewards)
+        np.testing.assert_array_equal(whole.stakes, pieces.stakes)
+
+
+class TestChunking:
+    @given(chunk=st.integers(min_value=1, max_value=97))
+    @settings(max_examples=25, deadline=None)
+    def test_chunk_size_never_changes_results(self, chunk):
+        # Property: the pre-drawn block length is an implementation
+        # detail — any chunking consumes the stream identically.
+        allocation = allocation_for(3)
+        protocol = MultiLotteryPoS(0.01)
+        reference = protocol.make_state(allocation, 16)
+        rng = np.random.default_rng(11)
+        protocol.advance_many(reference, 45, rng)
+        chunked = protocol.make_state(allocation, 16)
+        rng = np.random.default_rng(11)
+        batched_advance(protocol, chunked, 45, rng, chunk=chunk)
+        np.testing.assert_array_equal(reference.rewards, chunked.rewards)
+        np.testing.assert_array_equal(reference.stakes, chunked.stakes)
+
+    @given(chunk=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_chunk_property_deadline_protocol(self, chunk):
+        allocation = allocation_for(2)
+        protocol = SingleLotteryPoS(0.01)
+        reference = protocol.make_state(allocation, 12)
+        rng = np.random.default_rng(17)
+        protocol.advance_many(reference, 30, rng)
+        chunked = protocol.make_state(allocation, 12)
+        rng = np.random.default_rng(17)
+        batched_advance(protocol, chunked, 30, rng, chunk=chunk)
+        np.testing.assert_array_equal(reference.rewards, chunked.rewards)
+
+    def test_rejects_non_positive_chunk(self):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(allocation_for(2), 8)
+        with pytest.raises(ValueError):
+            batched_advance(protocol, state, 5, np.random.default_rng(0), chunk=0)
+
+    def test_memory_budget_caps_block(self):
+        # At large trial counts the pre-drawn block must stay within
+        # the byte budget rather than jump to DEFAULT_CHUNK_ROUNDS.
+        from repro.sim.kernels import (
+            DEFAULT_CHUNK_BUDGET_BYTES,
+            _chunk_size,
+        )
+
+        rounds = 10 * DEFAULT_CHUNK_ROUNDS
+        assert _chunk_size(rounds, 100, None) == DEFAULT_CHUNK_ROUNDS
+        capped = _chunk_size(rounds, 100_000, None)
+        assert 1 <= capped < DEFAULT_CHUNK_ROUNDS
+        assert capped * 100_000 * 8 <= DEFAULT_CHUNK_BUDGET_BYTES
+        # Explicit chunks are clamped to the round count.
+        assert _chunk_size(5, 100, 64) == 5
+
+
+class TestScratchBuffers:
+    def test_same_request_reuses_buffer(self):
+        scratch = ScratchBuffers()
+        first = scratch.get("buf", (4, 3))
+        second = scratch.get("buf", (4, 3))
+        assert first is second
+
+    def test_shape_change_reallocates(self):
+        scratch = ScratchBuffers()
+        first = scratch.get("buf", (4, 3))
+        second = scratch.get("buf", (5, 3))
+        assert first is not second
+        assert second.shape == (5, 3)
+
+    def test_dtype_change_reallocates(self):
+        scratch = ScratchBuffers()
+        floats = scratch.get("buf", (4,))
+        bools = scratch.get("buf", (4,), np.bool_)
+        assert bools.dtype == np.bool_
+        assert floats is not bools
+
+    def test_nbytes_and_len(self):
+        scratch = ScratchBuffers()
+        scratch.get("a", (10,))
+        scratch.get("b", (5,), np.bool_)
+        assert len(scratch) == 2
+        assert scratch.nbytes == 10 * 8 + 5
+
+    def test_attached_to_state_and_reused_across_advances(self):
+        protocol = MultiLotteryPoS(0.01)
+        state = protocol.make_state(allocation_for(2), 8)
+        assert state.scratch is None
+        rng = np.random.default_rng(1)
+        batched_advance(protocol, state, 10, rng)
+        scratch = state.scratch
+        assert isinstance(scratch, ScratchBuffers)
+        before = len(scratch)
+        batched_advance(protocol, state, 10, rng)
+        assert state.scratch is scratch
+        assert len(scratch) == before  # steady state allocates nothing new
+
+
+class TestRegistry:
+    def test_all_library_protocols_have_kernels(self):
+        for name, factory in PROTOCOL_FACTORIES.items():
+            assert find_kernel(factory()) is not None, name
+
+    def test_exact_type_lookup_ignores_subclasses(self):
+        # A subclass may override step(); the fused parent recurrence
+        # would silently diverge, so lookup must miss and fall back.
+        class CustomML(MultiLotteryPoS):
+            pass
+
+        assert find_kernel(CustomML(0.01)) is None
+
+    def test_unregistered_protocol_falls_back_to_naive(self):
+        class CustomML(MultiLotteryPoS):
+            pass
+
+        reference = CustomML(0.01).make_state(allocation_for(2), 8)
+        rng = np.random.default_rng(2)
+        CustomML(0.01).advance_many(reference, 20, rng)
+
+        state = CustomML(0.01).make_state(allocation_for(2), 8)
+        rng = np.random.default_rng(2)
+        batched_advance(CustomML(0.01), state, 20, rng)
+        np.testing.assert_array_equal(reference.rewards, state.rewards)
+
+    def test_ensure_kernel_mode(self):
+        assert ensure_kernel_mode("batched") == "batched"
+        assert ensure_kernel_mode("naive") == "naive"
+        with pytest.raises(ValueError, match="kernel"):
+            ensure_kernel_mode("fused")
+
+
+class TestEngineKnob:
+    def test_engine_rejects_unknown_kernel(self, two_miners):
+        with pytest.raises(ValueError, match="kernel"):
+            MonteCarloEngine(ProofOfWork(0.01), two_miners, kernel="fast")
+
+    def test_engine_repr_shows_kernel(self, two_miners):
+        engine = MonteCarloEngine(
+            ProofOfWork(0.01), two_miners, trials=5, kernel="naive"
+        )
+        assert "naive" in repr(engine)
+
+    def test_simulate_kernel_knob_round_trips(self, two_miners):
+        naive = simulate(
+            MultiLotteryPoS(0.01), two_miners, 50,
+            trials=20, seed=3, kernel="naive",
+        )
+        batched = simulate(
+            MultiLotteryPoS(0.01), two_miners, 50,
+            trials=20, seed=3, kernel="batched",
+        )
+        np.testing.assert_array_equal(
+            naive.reward_fractions, batched.reward_fractions
+        )

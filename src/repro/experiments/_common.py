@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..core.miners import Allocation
 from ..core.results import EnsembleResult, SeriesSummary
@@ -17,8 +18,10 @@ from ..sim.rng import RandomSource
 
 __all__ = [
     "PAPER_PROTOCOL_ORDER",
+    "GridCell",
     "build_protocol",
     "run_simulation",
+    "run_simulation_grid",
 ]
 
 #: The order in which the paper presents the four protocols.
@@ -48,6 +51,62 @@ def build_protocol(
     raise ValueError(f"unknown protocol key {key!r}")
 
 
+@dataclass(frozen=True)
+class GridCell:
+    """One Monte Carlo configuration in an experiment grid."""
+
+    protocol: IncentiveProtocol
+    allocation: Allocation
+    horizon: int
+    trials: int
+    checkpoints: Optional[Sequence[int]] = None
+
+
+def run_simulation_grid(
+    cells: Sequence[GridCell], source: RandomSource
+) -> List[EnsembleResult]:
+    """Run a grid of Monte Carlo configurations on child random streams.
+
+    One child stream of ``source`` is consumed per cell, in cell order
+    — exactly like a loop of :func:`run_simulation` calls, so results
+    are bit-identical to the per-cell path.  When an ambient
+    :class:`~repro.runtime.ParallelRunner` is configured
+    (``--workers``/``--cache``), every uncached shard of the whole grid
+    goes to the pool in a single dispatch via
+    :meth:`~repro.runtime.ParallelRunner.run_many`; otherwise cells run
+    serially in-process.
+    """
+    from ..runtime.context import get_default_runtime
+    from ..runtime.spec import SimulationSpec
+
+    cells = list(cells)
+    seeds = [source.spawn_one() for _ in cells]
+    runtime = get_default_runtime()
+    if runtime is not None:
+        specs = [
+            SimulationSpec(
+                protocol=cell.protocol,
+                allocation=cell.allocation,
+                trials=cell.trials,
+                horizon=cell.horizon,
+                checkpoints=(
+                    None
+                    if cell.checkpoints is None
+                    else tuple(cell.checkpoints)
+                ),
+                seed=seed,
+            )
+            for cell, seed in zip(cells, seeds)
+        ]
+        return runtime.run_many(specs)
+    return [
+        MonteCarloEngine(
+            cell.protocol, cell.allocation, trials=cell.trials, seed=seed
+        ).run(cell.horizon, cell.checkpoints)
+        for cell, seed in zip(cells, seeds)
+    ]
+
+
 def run_simulation(
     protocol: IncentiveProtocol,
     allocation: Allocation,
@@ -58,25 +117,9 @@ def run_simulation(
 ) -> EnsembleResult:
     """Run one Monte Carlo configuration on a child random stream.
 
-    When an ambient :class:`~repro.runtime.ParallelRunner` is
-    configured (``--workers``/``--cache``), the ensemble is sharded
-    and cached through it; otherwise it runs in-process.  Either way
-    exactly one child stream of ``source`` is consumed.
+    The single-cell case of :func:`run_simulation_grid`: exactly one
+    child stream of ``source`` is consumed, and the ensemble is
+    sharded/cached through the ambient runtime when one is configured.
     """
-    from ..runtime.context import get_default_runtime
-    from ..runtime.spec import SimulationSpec
-
-    seed = source.spawn_one()
-    runtime = get_default_runtime()
-    if runtime is not None:
-        spec = SimulationSpec(
-            protocol=protocol,
-            allocation=allocation,
-            trials=trials,
-            horizon=horizon,
-            checkpoints=None if checkpoints is None else tuple(checkpoints),
-            seed=seed,
-        )
-        return runtime.run(spec)
-    engine = MonteCarloEngine(protocol, allocation, trials=trials, seed=seed)
-    return engine.run(horizon, checkpoints)
+    cell = GridCell(protocol, allocation, horizon, trials, checkpoints)
+    return run_simulation_grid([cell], source)[0]

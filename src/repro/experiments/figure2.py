@@ -25,7 +25,12 @@ from ..core.miners import Allocation
 from ..core.results import SeriesSummary
 from ..chainsim.harness import SystemExperiment
 from ..sim.rng import RandomSource
-from ._common import PAPER_PROTOCOL_ORDER, build_protocol, run_simulation
+from ._common import (
+    PAPER_PROTOCOL_ORDER,
+    GridCell,
+    build_protocol,
+    run_simulation_grid,
+)
 from .config import DEFAULT, Preset
 from .report import render_table, subsample_rows
 
@@ -119,16 +124,25 @@ def run(config: Figure2Config = Figure2Config()) -> Figure2Result:
     source = RandomSource(config.seed)
     horizon = preset.horizon(config.horizon)
 
-    simulation: Dict[str, SeriesSummary] = {}
-    for name in PAPER_PROTOCOL_ORDER:
-        protocol = build_protocol(
-            name,
-            reward=config.reward,
-            inflation=config.inflation,
-            shards=config.shards,
+    cells = [
+        GridCell(
+            build_protocol(
+                name,
+                reward=config.reward,
+                inflation=config.inflation,
+                shards=config.shards,
+            ),
+            allocation,
+            horizon,
+            preset.trials,
         )
-        result = run_simulation(protocol, allocation, horizon, preset.trials, source)
-        simulation[name] = result.summary(epsilon=config.epsilon)
+        for name in PAPER_PROTOCOL_ORDER
+    ]
+    results = run_simulation_grid(cells, source)
+    simulation: Dict[str, SeriesSummary] = {
+        name: result.summary(epsilon=config.epsilon)
+        for name, result in zip(PAPER_PROTOCOL_ORDER, results)
+    }
 
     system: Dict[str, SeriesSummary] = {}
     if preset.include_system:

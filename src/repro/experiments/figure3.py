@@ -26,7 +26,12 @@ from ..core.metrics import convergence_time
 from ..core.miners import Allocation
 from ..sim.checkpoints import geometric_checkpoints
 from ..sim.rng import RandomSource
-from ._common import PAPER_PROTOCOL_ORDER, build_protocol, run_simulation
+from ._common import (
+    PAPER_PROTOCOL_ORDER,
+    GridCell,
+    build_protocol,
+    run_simulation_grid,
+)
 from .config import DEFAULT, Preset
 from .report import render_table, subsample_rows
 
@@ -110,25 +115,36 @@ def run(config: Figure3Config = Figure3Config()) -> Figure3Result:
     horizon = preset.horizon(config.horizon)
     checkpoints = geometric_checkpoints(horizon, count=40, first=10)
 
-    series: Dict[Tuple[str, float], np.ndarray] = {}
-    convergence: Dict[Tuple[str, float], float] = {}
-    for protocol_name in PAPER_PROTOCOL_ORDER:
-        for share in config.shares:
-            protocol = build_protocol(
+    grid = [
+        (protocol_name, share)
+        for protocol_name in PAPER_PROTOCOL_ORDER
+        for share in config.shares
+    ]
+    cells = [
+        GridCell(
+            build_protocol(
                 protocol_name,
                 reward=config.reward,
                 inflation=config.inflation,
                 shards=config.shards,
-            )
-            allocation = Allocation.two_miners(share)
-            result = run_simulation(
-                protocol, allocation, horizon, preset.trials, source, checkpoints
-            )
-            unfair = result.unfair_probabilities(epsilon=config.epsilon)
-            series[(protocol_name, share)] = unfair
-            convergence[(protocol_name, share)] = convergence_time(
-                result.checkpoints, unfair, config.delta
-            )
+            ),
+            Allocation.two_miners(share),
+            horizon,
+            preset.trials,
+            checkpoints,
+        )
+        for protocol_name, share in grid
+    ]
+    results = run_simulation_grid(cells, source)
+
+    series: Dict[Tuple[str, float], np.ndarray] = {}
+    convergence: Dict[Tuple[str, float], float] = {}
+    for (protocol_name, share), result in zip(grid, results):
+        unfair = result.unfair_probabilities(epsilon=config.epsilon)
+        series[(protocol_name, share)] = unfair
+        convergence[(protocol_name, share)] = convergence_time(
+            result.checkpoints, unfair, config.delta
+        )
     return Figure3Result(
         config=config,
         checkpoints=np.asarray(checkpoints),

@@ -23,7 +23,7 @@ from ..core.miners import Allocation
 from ..protocols.sl_pos import SingleLotteryPoS
 from ..sim.checkpoints import geometric_checkpoints
 from ..sim.rng import RandomSource
-from ._common import run_simulation
+from ._common import GridCell, run_simulation_grid
 from .config import DEFAULT, Preset
 from .report import render_table, subsample_rows
 
@@ -104,29 +104,37 @@ def run(config: Figure4Config = Figure4Config()) -> Figure4Result:
     checkpoints = geometric_checkpoints(horizon, count=30, first=10)
     trials = preset.heavy_trials
 
-    by_share: Dict[float, np.ndarray] = {}
-    for share in config.shares:
-        result = run_simulation(
+    # Panel (a) cells first, panel (b) cells after — the same child
+    # stream order as the old per-cell loops.
+    cells = [
+        GridCell(
             SingleLotteryPoS(config.fixed_reward),
             Allocation.two_miners(share),
             horizon,
             trials,
-            source,
             checkpoints,
         )
-        by_share[share] = result.summary().mean
-
-    by_reward: Dict[float, np.ndarray] = {}
-    for reward in config.rewards:
-        result = run_simulation(
+        for share in config.shares
+    ] + [
+        GridCell(
             SingleLotteryPoS(reward),
             Allocation.two_miners(config.fixed_share),
             horizon,
             trials,
-            source,
             checkpoints,
         )
-        by_reward[reward] = result.summary().mean
+        for reward in config.rewards
+    ]
+    results = run_simulation_grid(cells, source)
+
+    by_share: Dict[float, np.ndarray] = {
+        share: result.summary().mean
+        for share, result in zip(config.shares, results)
+    }
+    by_reward: Dict[float, np.ndarray] = {
+        reward: result.summary().mean
+        for reward, result in zip(config.rewards, results[len(config.shares):])
+    }
 
     return Figure4Result(
         config=config,

@@ -26,7 +26,7 @@ from ..protocols.ml_pos import MultiLotteryPoS
 from ..protocols.sl_pos import SingleLotteryPoS
 from ..sim.checkpoints import geometric_checkpoints
 from ..sim.rng import RandomSource
-from ._common import run_simulation
+from ._common import GridCell, run_simulation_grid
 from .config import DEFAULT, Preset
 from .report import render_table, subsample_rows
 
@@ -114,27 +114,37 @@ def run(config: Figure5Config = Figure5Config()) -> Figure5Result:
     checkpoints = geometric_checkpoints(horizon, count=30, first=10)
     allocation = Allocation.two_miners(config.share)
 
-    def unfair(protocol) -> np.ndarray:
-        result = run_simulation(
-            protocol, allocation, horizon, preset.trials, source, checkpoints
-        )
-        return result.unfair_probabilities(epsilon=config.epsilon)
+    # All four panels as one grid, in the panel order the per-cell
+    # loops used to consume child streams: (a) ML-PoS by w, (b) SL-PoS
+    # by w, (c) C-PoS by w, (d) C-PoS by v.  For panel (d), Theorem
+    # 4.10 degenerates to ML-PoS sharded over P blocks at v=0;
+    # CompoundPoS supports v=0 directly.
+    protocols = (
+        [MultiLotteryPoS(w) for w in config.rewards]
+        + [SingleLotteryPoS(w) for w in config.rewards]
+        + [
+            CompoundPoS(w, config.fixed_inflation, config.shards)
+            for w in config.rewards
+        ]
+        + [
+            CompoundPoS(config.fixed_reward, v, config.shards)
+            for v in config.inflations
+        ]
+    )
+    cells = [
+        GridCell(protocol, allocation, horizon, preset.trials, checkpoints)
+        for protocol in protocols
+    ]
+    unfair = [
+        result.unfair_probabilities(epsilon=config.epsilon)
+        for result in run_simulation_grid(cells, source)
+    ]
 
-    ml_pos = {w: unfair(MultiLotteryPoS(w)) for w in config.rewards}
-    sl_pos = {w: unfair(SingleLotteryPoS(w)) for w in config.rewards}
-    c_pos_w = {
-        w: unfair(CompoundPoS(w, config.fixed_inflation, config.shards))
-        for w in config.rewards
-    }
-    c_pos_v = {}
-    for v in config.inflations:
-        if v == 0.0:
-            # Theorem 4.10 degenerates to ML-PoS sharded over P blocks;
-            # CompoundPoS supports v=0 directly.
-            protocol = CompoundPoS(config.fixed_reward, 0.0, config.shards)
-        else:
-            protocol = CompoundPoS(config.fixed_reward, v, config.shards)
-        c_pos_v[v] = unfair(protocol)
+    panels = iter(unfair)
+    ml_pos = {w: next(panels) for w in config.rewards}
+    sl_pos = {w: next(panels) for w in config.rewards}
+    c_pos_w = {w: next(panels) for w in config.rewards}
+    c_pos_v = {v: next(panels) for v in config.inflations}
 
     return Figure5Result(
         config=config,

@@ -110,6 +110,24 @@ def _run_one(key: str, preset, seed: Optional[int], json_dir) -> str:
     return f"{banner}\n{text}\n"
 
 
+class _ShardProgress:
+    """Render ``(completed, total)`` shard callbacks as one stderr line.
+
+    A whole figure grid goes through a single pool dispatch, so the
+    line counts shards across every cell of the grid; it is rewritten
+    in place (carriage return) and finished with a newline when the
+    dispatch completes.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = sys.stderr if stream is None else stream
+
+    def __call__(self, completed: int, total: int) -> None:
+        end = "\n" if completed >= total else ""
+        self.stream.write(f"\r[shards {completed}/{total}]{end}")
+        self.stream.flush()
+
+
 def _build_runtime(args) -> Optional[ParallelRunner]:
     """The ParallelRunner the CLI flags ask for, or None for the old path."""
     if args.workers < 1:
@@ -127,6 +145,7 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             workers=args.workers,
             cache=args.cache,
             backend=args.backend or "processes",
+            progress=_ShardProgress(),
         )
     except ValueError as error:
         raise SystemExit(str(error))

@@ -31,8 +31,8 @@ from ..protocols.extended import (
     VixifyPoS,
     WavePoS,
 )
-from ..sim.engine import simulate
 from ..sim.rng import RandomSource
+from ._common import GridCell, run_simulation_grid
 from .config import DEFAULT, Preset
 from .report import render_table
 
@@ -146,12 +146,17 @@ def run(config: Section64Config = Section64Config()) -> Section64Result:
     allocation = Allocation.focal_vs_equal(config.share, config.miners)
     share = allocation.focal_share
 
+    zoo = _protocol_zoo(config)
+    cells = [
+        GridCell(protocol, allocation, horizon, preset.trials)
+        for protocol, _, _ in zoo
+    ]
+    results = run_simulation_grid(cells, source)
+
     rows: List[Section64Row] = []
-    for protocol, paper_expectational, robust_profile in _protocol_zoo(config):
-        result = simulate(
-            protocol, allocation, horizon, trials=preset.trials,
-            seed=source.spawn_one(),
-        )
+    for (protocol, paper_expectational, robust_profile), result in zip(
+        zoo, results
+    ):
         final = result.final_fractions()
         expectational = result.expectational_verdict(
             tolerance=0.1 * share

@@ -25,7 +25,12 @@ from typing import Dict, Tuple
 from ..core.miners import Allocation
 from ..sim.checkpoints import geometric_checkpoints
 from ..sim.rng import RandomSource
-from ._common import PAPER_PROTOCOL_ORDER, build_protocol, run_simulation
+from ._common import (
+    PAPER_PROTOCOL_ORDER,
+    GridCell,
+    build_protocol,
+    run_simulation_grid,
+)
 from .config import DEFAULT, Preset
 from .report import render_table
 
@@ -106,25 +111,36 @@ def run(config: Table1Config = Table1Config()) -> Table1Result:
     horizon = preset.horizon(config.horizon)
     checkpoints = geometric_checkpoints(horizon, count=40, first=10)
 
-    cells: Dict[Tuple[str, int], Table1Cell] = {}
-    for protocol_name in PAPER_PROTOCOL_ORDER:
-        for count in config.miner_counts:
-            protocol = build_protocol(
+    grid = [
+        (protocol_name, count)
+        for protocol_name in PAPER_PROTOCOL_ORDER
+        for count in config.miner_counts
+    ]
+    grid_cells = [
+        GridCell(
+            build_protocol(
                 protocol_name,
                 reward=config.reward,
                 inflation=config.inflation,
                 shards=config.shards,
-            )
-            allocation = Allocation.focal_vs_equal(config.focal_share, count)
-            result = run_simulation(
-                protocol, allocation, horizon, preset.trials, source, checkpoints
-            )
-            unfair = result.unfair_probabilities(epsilon=config.epsilon)
-            cells[(protocol_name, count)] = Table1Cell(
-                average_fraction=float(result.final_fractions().mean()),
-                unfair_probability=float(unfair[-1]),
-                convergence_time=result.convergence_time(
-                    epsilon=config.epsilon, delta=config.delta
-                ),
-            )
+            ),
+            Allocation.focal_vs_equal(config.focal_share, count),
+            horizon,
+            preset.trials,
+            checkpoints,
+        )
+        for protocol_name, count in grid
+    ]
+    results = run_simulation_grid(grid_cells, source)
+
+    cells: Dict[Tuple[str, int], Table1Cell] = {}
+    for (protocol_name, count), result in zip(grid, results):
+        unfair = result.unfair_probabilities(epsilon=config.epsilon)
+        cells[(protocol_name, count)] = Table1Cell(
+            average_fraction=float(result.final_fractions().mean()),
+            unfair_probability=float(unfair[-1]),
+            convergence_time=result.convergence_time(
+                epsilon=config.epsilon, delta=config.delta
+            ),
+        )
     return Table1Result(config=config, cells=cells)

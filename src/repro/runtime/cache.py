@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import os
 import pathlib
+import threading
+import uuid
 from typing import Optional, Union
 
 from ..core.results import EnsembleResult
@@ -59,6 +61,9 @@ class ResultCache:
             )
         self.hits = 0
         self.misses = 0
+        # Counter updates must be atomic: a thread-backend run hits
+        # get/put from every pool thread at once.
+        self._stats_lock = threading.Lock()
 
     def path_for(self, key: str) -> pathlib.Path:
         """The artifact path a fingerprint maps to."""
@@ -77,35 +82,46 @@ class ResultCache:
         """
         path = self.path_for(key)
         if not path.exists():
-            self.misses += 1
+            self._count("misses")
             return None
         try:
             result = load_result(path)
         except Exception:
             path.unlink(missing_ok=True)
-            self.misses += 1
+            self._count("misses")
             return None
-        self.hits += 1
+        self._count("hits")
         return result
+
+    def _count(self, counter: str) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
 
     def put(self, key: str, result: EnsembleResult) -> pathlib.Path:
         """Store ``result`` under ``key``, atomically; returns the path.
 
         Writes land in a ``.tmp`` subdirectory first so a killed run
         can never leave a partial (or phantom) entry among the
-        artifacts, then move into place with an atomic rename.
+        artifacts, then move into place with an atomic rename.  The
+        staging name is unique per writer — pid, thread id and a
+        random component — so concurrent threads (or processes) racing
+        to store the same key each write their own file and the last
+        atomic rename wins intact.
         """
         path = self.path_for(key)
         staging = self.directory / ".tmp"
         staging.mkdir(parents=True, exist_ok=True)
-        temporary = staging / f"{key}-{os.getpid()}.npz"
+        temporary = staging / (
+            f"{key}-{os.getpid()}-{threading.get_ident()}"
+            f"-{uuid.uuid4().hex[:8]}.npz"
+        )
         written = save_result(result, temporary)
         os.replace(written, path)
         return path
 
     def clear(self) -> int:
         """Delete every artifact (and staging leftovers); returns the
-        number of entries removed."""
+        number of entries removed, staging leftovers included."""
         removed = 0
         if self.directory.exists():
             for path in self.directory.glob("*.npz"):
@@ -113,6 +129,7 @@ class ResultCache:
                 removed += 1
             for path in self.directory.glob(".tmp/*.npz"):
                 path.unlink()
+                removed += 1
         return removed
 
     def __len__(self) -> int:

@@ -52,10 +52,20 @@ class ShardExecutionError(RuntimeError):
     ----------
     failures:
         List of ``(task_index, error_repr, traceback_text)`` tuples.
+    results:
+        The drained per-task results, in task order, with None at the
+        failed indices — so callers batching independent workloads can
+        salvage the tasks that did complete (e.g. cache them) before
+        re-raising.
     """
 
-    def __init__(self, failures: Sequence[Tuple[int, str, str]]) -> None:
+    def __init__(
+        self,
+        failures: Sequence[Tuple[int, str, str]],
+        results: Optional[Sequence[Any]] = None,
+    ) -> None:
         self.failures = list(failures)
+        self.results = None if results is None else list(results)
         summary = "; ".join(
             f"shard {index}: {error}" for index, error, _ in self.failures
         )
@@ -93,7 +103,7 @@ def _collect(
         if progress is not None:
             progress(index + 1, total)
     if failures:
-        raise ShardExecutionError(failures)
+        raise ShardExecutionError(failures, results)
     return results
 
 

@@ -14,6 +14,13 @@ Because the plan and the merge order are independent of the executor,
 ``workers=1`` and ``workers=8`` produce bit-identical merged arrays
 for the same spec and shard count.
 
+Grids of specs (the per-``(a, w, v)`` cells of the paper's figure
+sweeps) go through :meth:`ParallelRunner.run_many` /
+:meth:`ParallelRunner.run_system_many`: per-spec cache checks and
+plans, but one pool dispatch for every uncached shard of every spec —
+bit-identical to running the specs one at a time, without the per-cell
+dispatch latency or the worker idling between cells.
+
 The shard task functions are module-level so they pickle by reference
 under every multiprocessing start method.
 """
@@ -21,12 +28,18 @@ under every multiprocessing start method.
 from __future__ import annotations
 
 import pathlib
-from typing import Any, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
+from .._validation import ensure_positive_int
 from ..core.results import EnsembleResult
 from ..sim.rng import RandomSource, SeedLike
 from .cache import ResultCache
-from .executor import Executor, ProgressCallback, make_executor
+from .executor import (
+    Executor,
+    ProgressCallback,
+    ShardExecutionError,
+    make_executor,
+)
 from .sharding import DEFAULT_SHARD_COUNT, Shard, plan_shards
 from .spec import SimulationSpec, SystemSpec, spec_fingerprint
 
@@ -94,7 +107,9 @@ class ParallelRunner:
         when comparing runs.
     progress:
         Optional ``callback(completed, total_shards)`` fired as shard
-        results arrive, in plan order.
+        results arrive, in plan order.  ``total_shards`` covers the
+        whole dispatch — for :meth:`run_many` that is every uncached
+        shard of every spec in the grid.
 
     Examples
     --------
@@ -146,11 +161,34 @@ class ParallelRunner:
         self, spec: SimulationSpec, *, shards: Optional[int] = None
     ) -> EnsembleResult:
         """Run (or load) the Monte Carlo ensemble described by ``spec``."""
-        if not isinstance(spec, SimulationSpec):
-            raise TypeError(
-                f"spec must be a SimulationSpec, got {type(spec).__name__}"
-            )
-        return self._execute(spec, spec.trials, _run_simulation_shard, shards)
+        return self.run_many([spec], shards=shards)[0]
+
+    def run_many(
+        self,
+        specs: Sequence[SimulationSpec],
+        *,
+        shards: Optional[int] = None,
+    ) -> List[EnsembleResult]:
+        """Run (or load) a whole grid of Monte Carlo ensembles at once.
+
+        Equivalent to ``[self.run(s) for s in specs]`` — bit-identical
+        results, same cache reads and writes — but every uncached shard
+        of every spec goes to the pool in a *single* dispatch, so
+        workers never idle between grid cells and pool latency is paid
+        once per grid instead of once per cell.  Progress callbacks see
+        ``(completed, total)`` across the whole grid.
+        """
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, SimulationSpec):
+                raise TypeError(
+                    f"specs must be SimulationSpecs, got {type(spec).__name__}"
+                )
+        return self._execute_many(
+            [(spec, spec.trials) for spec in specs],
+            _run_simulation_shard,
+            shards,
+        )
 
     def run_system(
         self,
@@ -175,30 +213,105 @@ class ParallelRunner:
             checkpoints=None if checkpoints is None else tuple(checkpoints),
             seed=seed,
         )
-        return self._execute(spec, spec.repeats, _run_system_shard, shards)
+        return self.run_system_many([spec], shards=shards)[0]
 
-    def _execute(self, spec, total: int, shard_fn, shards: Optional[int]):
+    def run_system_many(
+        self,
+        specs: Sequence[SystemSpec],
+        *,
+        shards: Optional[int] = None,
+    ) -> List[EnsembleResult]:
+        """Run (or load) many node-level system ensembles at once.
+
+        The :class:`~repro.runtime.spec.SystemSpec` counterpart of
+        :meth:`run_many`: bit-identical to calling :meth:`run_system`
+        per spec, but all uncached shards share one pool dispatch.
+        """
+        specs = list(specs)
+        for spec in specs:
+            if not isinstance(spec, SystemSpec):
+                raise TypeError(
+                    f"specs must be SystemSpecs, got {type(spec).__name__}"
+                )
+        return self._execute_many(
+            [(spec, spec.repeats) for spec in specs], _run_system_shard, shards
+        )
+
+    def _resolve_shards(self, total: int, shards: Optional[int]) -> int:
+        """The effective shard count for ``total`` trials.
+
+        Explicit counts (argument or ``default_shards``) are clamped to
+        the trial count like the default plan — 16 shards of a 4-trial
+        spec is 4 shards, not an error.
+        """
         if shards is None:
             shards = self.default_shards
         if shards is None:
             # Workers above the default shard count would otherwise sit
             # idle; give big pools one shard each (cache keys carry the
             # shard count, so plans never silently collide).
-            shards = min(total, max(DEFAULT_SHARD_COUNT, self.workers))
-        plan = plan_shards(total, spec.seed_sequence, shards)
-        key = None
-        if self.cache is not None:
-            key = spec_fingerprint(spec, shards=len(plan))
-            cached = self.cache.get(key)
-            if cached is not None:
-                return cached
-        results = self.executor.map(
-            shard_fn, [(spec, shard) for shard in plan], progress=self.progress
-        )
-        merged = EnsembleResult.merge(results)
-        if key is not None:
-            self.cache.put(key, merged)
+            shards = max(DEFAULT_SHARD_COUNT, self.workers)
+        return min(total, ensure_positive_int("shards", shards))
+
+    def _execute_many(self, entries, shard_fn, shards: Optional[int]):
+        merged: List[Optional[EnsembleResult]] = [None] * len(entries)
+        tasks: List[Tuple[Any, Shard]] = []
+        pending: List[Tuple[int, Optional[str], int, int]] = []
+        first_pending: dict = {}
+        duplicates: List[Tuple[int, int, str]] = []
+        for position, (spec, total) in enumerate(entries):
+            plan = plan_shards(
+                total, spec.seed_sequence, self._resolve_shards(total, shards)
+            )
+            key = None
+            if self.cache is not None:
+                key = spec_fingerprint(spec, shards=len(plan))
+                if key in first_pending:
+                    # A duplicate of a spec already in this dispatch:
+                    # the per-cell loop would have loaded it as a hit
+                    # once the first copy landed, so compute it once
+                    # and load it back the same way (no planning-time
+                    # get — the loop never saw a miss for it either).
+                    duplicates.append((position, first_pending[key], key))
+                    continue
+                cached = self.cache.get(key)
+                if cached is not None:
+                    merged[position] = cached
+                    continue
+                first_pending[key] = position
+            pending.append((position, key, len(tasks), len(plan)))
+            tasks.extend((spec, shard) for shard in plan)
+        try:
+            results = self.executor.map(shard_fn, tasks, progress=self.progress)
+        except ShardExecutionError as error:
+            self._salvage_completed(pending, error)
+            raise
+        for position, key, start, count in pending:
+            result = EnsembleResult.merge(results[start:start + count])
+            if key is not None:
+                self.cache.put(key, result)
+            merged[position] = result
+        for position, original, key in duplicates:
+            loaded = self.cache.get(key)
+            merged[position] = loaded if loaded is not None else merged[original]
         return merged
+
+    def _salvage_completed(self, pending, error: ShardExecutionError) -> None:
+        """Cache the specs whose shards all completed despite the failure.
+
+        The per-spec loop this batches would have cached every cell
+        finished before the failing one; the single dispatch drains
+        every shard, so we can do one better and store every spec
+        untouched by the failure before the error propagates.
+        """
+        results = error.results
+        if results is None or self.cache is None:
+            return
+        failed = {index for index, _, _ in error.failures}
+        for _, key, start, count in pending:
+            if key is None or any(i in failed for i in range(start, start + count)):
+                continue
+            self.cache.put(key, EnsembleResult.merge(results[start:start + count]))
 
     def __repr__(self) -> str:
         return (

@@ -1,5 +1,7 @@
 """Tests for repro.runtime.cache — content-addressed result storage."""
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -58,6 +60,13 @@ class TestRoundTrip:
         assert cache.clear() == 1
         assert cache.get(KEY) is None
 
+    def test_clear_counts_staging_leftovers(self, cache, result):
+        cache.put(KEY, result)
+        orphan = cache.directory / ".tmp" / "dead-run-123.npz"
+        orphan.write_bytes(b"partial write")
+        assert cache.clear() == 2
+        assert not orphan.exists()
+
 
 class TestRobustness:
     def test_corrupt_entry_is_a_miss_and_evicted(self, cache, result):
@@ -97,6 +106,65 @@ class TestRobustness:
         assert not cache.directory.exists()
         cache.put(KEY, result)
         assert cache.directory.exists()
+
+
+class TestConcurrency:
+    def test_concurrent_puts_of_same_key_never_corrupt(self, cache, result):
+        # Regression: the staging name used to be {key}-{pid}.npz —
+        # identical for every thread of a process — so two threads
+        # storing the same key overwrote each other's half-written
+        # artifact.  With per-writer staging names each rename lands an
+        # intact file no matter how the race resolves.
+        def put(_):
+            return cache.put(KEY, result)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(put, range(32)))
+
+        loaded = cache.get(KEY)
+        assert loaded is not None
+        assert loaded.reward_fractions.tobytes() == result.reward_fractions.tobytes()
+        assert list((cache.directory / ".tmp").glob("*.npz")) == []
+
+    def test_concurrent_put_get_mix_keeps_counters_consistent(
+        self, cache, result
+    ):
+        keys = [format(i, "x") * 16 for i in range(1, 9)]
+
+        def hammer(key):
+            for _ in range(6):
+                cache.put(key, result)
+                assert cache.get(key) is not None
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, keys))
+
+        # Every get above was a hit; the lock makes the tally exact.
+        assert cache.hits == len(keys) * 6
+        assert cache.misses == 0
+        assert len(cache) == len(keys)
+
+    def test_threads_backend_grid_with_shared_cache(self, tmp_path, two_miners):
+        # End-to-end: a thread-pool grid run whose shards complete
+        # concurrently while the main thread populates the cache.
+        from repro.runtime import ParallelRunner, SimulationSpec
+
+        specs = [
+            SimulationSpec(
+                MultiLotteryPoS(0.01), two_miners,
+                trials=24, horizon=60, seed=seed,
+            )
+            for seed in range(6)
+        ]
+        runner = ParallelRunner(workers=4, backend="threads", cache=tmp_path)
+        first = runner.run_many(specs, shards=3)
+        second = runner.run_many(specs, shards=3)
+        assert runner.cache.hits == len(specs)
+        for cold, warm in zip(first, second):
+            assert (
+                cold.reward_fractions.tobytes()
+                == warm.reward_fractions.tobytes()
+            )
 
 
 class TestFingerprintIntegration:

@@ -127,6 +127,191 @@ class TestRunSimulation:
         with pytest.raises(TypeError, match="SimulationSpec"):
             ParallelRunner().run("fig2")
 
+    def test_explicit_shards_clamped_to_trials(self):
+        # Regression: shards=16 on a 4-trial spec used to raise
+        # "ValueError: cannot split 4 items into 16 shards"; now both
+        # the constructor default and the per-run argument clamp like
+        # the default plan, so the merged bits match shards=4.
+        spec = make_spec(trials=4)
+        constructor = ParallelRunner(shards=16).run(spec)
+        per_run = ParallelRunner().run(spec, shards=16)
+        reference = ParallelRunner().run(spec, shards=4)
+        np.testing.assert_array_equal(
+            constructor.reward_fractions, reference.reward_fractions
+        )
+        np.testing.assert_array_equal(
+            per_run.reward_fractions, reference.reward_fractions
+        )
+
+    def test_clamped_shards_share_cache_entry_with_exact_count(self, tmp_path):
+        runner = ParallelRunner(cache=tmp_path)
+        spec = make_spec(trials=4)
+        runner.run(spec, shards=16)
+        runner.run(spec, shards=4)
+        assert runner.cache.hits == 1
+        assert len(runner.cache) == 1
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="shards"):
+            ParallelRunner().run(make_spec(), shards=0)
+
+
+class _ExplodingExperiment:
+    """A SystemSpec experiment whose every shard fails."""
+
+    def __init__(self):
+        self.tag = "boom"
+
+    def _run_serial(self, rounds, repeats, checkpoints=None, seed=None):
+        raise RuntimeError("boom")
+
+
+class TestRunMany:
+    def grid(self):
+        return [
+            make_spec(seed=1),
+            make_spec(protocol=ProofOfWork(0.01), seed=2),
+            make_spec(trials=30, seed=3),
+        ]
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_matches_per_spec_run_bit_for_bit(self, backend):
+        workers = 1 if backend == "serial" else 3
+        kwargs = {} if backend == "serial" else {"backend": backend}
+        batched = ParallelRunner(workers=workers, **kwargs).run_many(
+            self.grid(), shards=4
+        )
+        reference = [
+            ParallelRunner(workers=1).run(spec, shards=4)
+            for spec in self.grid()
+        ]
+        assert len(batched) == 3
+        for got, expected in zip(batched, reference):
+            np.testing.assert_array_equal(
+                got.reward_fractions, expected.reward_fractions
+            )
+            np.testing.assert_array_equal(
+                got.terminal_stakes, expected.terminal_stakes
+            )
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_mixed_cache_hit_miss_grid(self, backend, tmp_path):
+        workers = 1 if backend == "serial" else 2
+        kwargs = {} if backend == "serial" else {"backend": backend}
+        warmup = ParallelRunner(workers=1, cache=tmp_path)
+        cached_result = warmup.run(self.grid()[1], shards=4)
+
+        runner = ParallelRunner(workers=workers, cache=tmp_path, **kwargs)
+        batched = runner.run_many(self.grid(), shards=4)
+        assert runner.cache.hits == 1  # spec 1 loaded, specs 0/2 simulated
+        np.testing.assert_array_equal(
+            batched[1].reward_fractions, cached_result.reward_fractions
+        )
+        reference = [
+            ParallelRunner(workers=1).run(spec, shards=4)
+            for spec in self.grid()
+        ]
+        for got, expected in zip(batched, reference):
+            np.testing.assert_array_equal(
+                got.reward_fractions, expected.reward_fractions
+            )
+        # The batched run populated the cache for the misses too.
+        rerun = ParallelRunner(workers=1, cache=tmp_path)
+        rerun.run_many(self.grid(), shards=4)
+        assert rerun.cache.hits == 3
+
+    def test_single_dispatch_progress_spans_grid(self):
+        seen = []
+        runner = ParallelRunner(
+            workers=1, progress=lambda done, total: seen.append((done, total))
+        )
+        runner.run_many(self.grid(), shards=4)
+        # One dispatch of 3 specs x 4 shards: totals stay at 12.
+        assert seen == [(i + 1, 12) for i in range(12)]
+
+    def test_fully_cached_grid_skips_dispatch(self, tmp_path):
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        runner.run_many(self.grid(), shards=2)
+        seen = []
+        warm = ParallelRunner(
+            workers=1,
+            cache=tmp_path,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        warm.run_many(self.grid(), shards=2)
+        assert warm.cache.hits == 3
+        assert seen == []
+
+    def test_empty_grid(self):
+        assert ParallelRunner().run_many([]) == []
+
+    def test_accepts_iterator_of_specs(self):
+        results = ParallelRunner().run_many(
+            make_spec(seed=s) for s in (1, 2)
+        )
+        assert [r.trials for r in results] == [60, 60]
+
+    def test_duplicate_specs_in_cached_grid_compute_once(self, tmp_path):
+        seen = []
+        runner = ParallelRunner(
+            workers=1,
+            cache=tmp_path,
+            progress=lambda done, total: seen.append(total),
+        )
+        a, b = runner.run_many([make_spec(seed=11), make_spec(seed=11)],
+                               shards=4)
+        assert seen[0] == 4  # one copy dispatched, not two
+        assert len(runner.cache) == 1
+        # Counter parity with the per-cell loop: one cold miss for the
+        # first copy, one hit when the duplicate loads it back.
+        assert runner.cache.hits == 1
+        assert runner.cache.misses == 1
+        np.testing.assert_array_equal(a.reward_fractions, b.reward_fractions)
+
+    def test_failing_spec_does_not_discard_completed_caches(
+        self, tmp_path, two_miners
+    ):
+        from repro.runtime import ShardExecutionError, SystemSpec
+
+        good = SystemSpec(SystemExperiment("ml-pos", two_miners), 30, 4, seed=3)
+        bad = SystemSpec(_ExplodingExperiment(), 30, 4, seed=4)
+        runner = ParallelRunner(workers=1, cache=tmp_path)
+        with pytest.raises(ShardExecutionError, match="boom"):
+            runner.run_system_many([good, bad], shards=2)
+        # The good spec completed every shard, so its merged result was
+        # salvaged into the cache before the error propagated.
+        rerun = ParallelRunner(workers=1, cache=tmp_path)
+        rerun.run_system(good.experiment, 30, 4, seed=good.seed, shards=2)
+        assert rerun.cache.hits == 1
+
+    def test_rejects_non_spec_in_grid(self):
+        with pytest.raises(TypeError, match="SimulationSpec"):
+            ParallelRunner().run_many([make_spec(), "fig2"])
+
+    def test_run_system_many_matches_per_spec(self, two_miners):
+        from repro.runtime import SystemSpec
+
+        specs = [
+            SystemSpec(SystemExperiment("ml-pos", two_miners), 40, 6, seed=7),
+            SystemSpec(SystemExperiment("pow", two_miners), 30, 4, seed=9),
+        ]
+        batched = ParallelRunner(workers=2).run_system_many(specs, shards=2)
+        reference = [
+            ParallelRunner(workers=1).run_system(
+                spec.experiment, spec.rounds, spec.repeats,
+                seed=spec.seed, shards=2,
+            )
+            for spec in specs
+        ]
+        for got, expected in zip(batched, reference):
+            np.testing.assert_array_equal(
+                got.reward_fractions, expected.reward_fractions
+            )
+
+    def test_run_system_many_rejects_simulation_spec(self):
+        with pytest.raises(TypeError, match="SystemSpec"):
+            ParallelRunner().run_system_many([make_spec()])
+
 
 class TestRunSystem:
     def test_system_repeats_sharded_and_merged(self, two_miners):

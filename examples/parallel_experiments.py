@@ -1,6 +1,6 @@
 """Parallel + cached experiments with ``repro.runtime``.
 
-Demonstrates the five ways to use the runtime layer:
+Demonstrates the six ways to use the runtime layer:
 
 1. the high-level :class:`MiningGame` knobs (``workers=``, ``cache=``),
 2. an explicit :class:`ParallelRunner` over a :class:`SimulationSpec`
@@ -18,7 +18,12 @@ Demonstrates the five ways to use the runtime layer:
 
 5. the batched kernel layer (``kernel="batched"``, the default): fused
    multi-round advances that are bit-identical to the per-round loop
-   but ~10x faster on the paper's ML-PoS headline configuration.
+   but ~10x faster on the paper's ML-PoS headline configuration,
+
+6. the node-level system path: a whole system sweep batched through
+   ``run_system_many`` in one dispatch, and the networks' vectorized
+   hot loop with its ``fast=False`` escape hatch (the system-side
+   analogue of ``kernel="naive"`` — bit-identical either way).
 
 How the knobs compose: the kernel attacks per-round *depth*, workers
 attack ensemble *breadth*.  Start with ``workers=1`` + the default
@@ -151,6 +156,45 @@ def main() -> None:
                                  workers=WORKERS, backend="threads")
         print(f"threads backend at workers={WORKERS}: "
               f"trials={threaded.trials}")
+
+    # 6. The system path: node-level repeats batched like a figure
+    #    grid.  SystemSpecs for several protocols go to the pool in ONE
+    #    run_system_many dispatch (this is what fig2/fig6 do through
+    #    experiments._common.run_system_grid), and the chainsim
+    #    networks run their vectorized loop — batched hash-oracle
+    #    draws, preallocated NumPy income ledgers.  fast=False is the
+    #    per-object reference loop, bit-identical by the differential
+    #    suite, and both flavors share one cache fingerprint.
+    from repro.chainsim.harness import SystemExperiment
+    from repro.runtime import SystemSpec
+
+    sweep = [
+        SystemSpec(
+            experiment=SystemExperiment(protocol, allocation),
+            rounds=150,
+            repeats=6,
+            seed=index,
+        )
+        for index, protocol in enumerate(("ml-pos", "sl-pos", "fsl-pos"))
+    ]
+    runner = ParallelRunner(workers=WORKERS)
+    start = time.perf_counter()
+    batched_system = runner.run_system_many(sweep, shards=2)
+    sweep_s = time.perf_counter() - start
+    print(f"3-protocol system sweep in one dispatch: {sweep_s:.2f}s "
+          f"({sum(r.trials for r in batched_system)} deployments)")
+
+    fast = SystemExperiment("sl-pos", allocation).run(400, 6, seed=9)
+    start = time.perf_counter()
+    slow = SystemExperiment("sl-pos", allocation, fast=False).run(400, 6, seed=9)
+    naive_s = time.perf_counter() - start
+    start = time.perf_counter()
+    SystemExperiment("sl-pos", allocation).run(400, 6, seed=9)
+    fast_s = time.perf_counter() - start
+    identical = np.array_equal(slow.reward_fractions, fast.reward_fractions)
+    print(f"sl-pos system loop: fast=False {naive_s:.2f}s vs fast=True "
+          f"{fast_s:.2f}s ({naive_s / fast_s:.1f}x), "
+          f"bit-identical = {identical}")
 
 
 if __name__ == "__main__":

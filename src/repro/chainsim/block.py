@@ -7,10 +7,39 @@ from typing import Tuple
 
 from .transactions import Transaction
 
-__all__ = ["Block", "GENESIS_PARENT"]
+__all__ = ["Block", "GENESIS_PARENT", "fast_block"]
 
 #: Parent hash of the genesis block.
 GENESIS_PARENT = 0
+
+
+def fast_block(
+    height: int,
+    parent_hash: int,
+    block_hash: int,
+    proposer: str,
+    timestamp: float,
+    reward: float,
+) -> "Block":
+    """Construct a transaction-less :class:`Block` without validation.
+
+    For the mining engines' hot loops, which build blocks whose fields
+    are valid by construction (height extends the tip, proposer
+    non-empty, reward non-negative); skips the frozen-dataclass
+    ``__init__``/``__post_init__`` machinery.  The result is a regular
+    :class:`Block` — same equality, hashing and attributes.
+    """
+    block = object.__new__(Block)
+    block.__dict__.update(
+        height=height,
+        parent_hash=parent_hash,
+        block_hash=block_hash,
+        proposer=proposer,
+        timestamp=timestamp,
+        reward=reward,
+        transactions=(),
+    )
+    return block
 
 
 @dataclass(frozen=True)

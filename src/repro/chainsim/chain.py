@@ -98,6 +98,11 @@ class Blockchain:
             raise InvalidBlockError("block parent hash does not match the tip")
         if block.timestamp < self.tip.timestamp:
             raise InvalidBlockError("block timestamp precedes its parent")
+        if not block.transactions:
+            # Nothing further to check — and the scratch dict copies
+            # below would dominate the per-block cost of the (typical)
+            # transaction-less mining loops.
+            return
         # Transactions must be applicable in order against a scratch view.
         scratch_balances = dict(self._balances)
         scratch_nonces = dict(self._nonces)
@@ -129,6 +134,28 @@ class Blockchain:
             )
             self._nonces[tx.sender] = tx.nonce + 1
         credit = block.reward + block.total_fees
+        if credit > 0.0:
+            self._balances[block.proposer] = (
+                self._balances.get(block.proposer, 0.0) + credit
+            )
+        self._blocks.append(block)
+
+    def append_trusted(self, block: Block) -> None:
+        """Apply a transaction-less block built from the current tip.
+
+        The engines' fast paths construct blocks whose height, parent
+        hash and timestamp are valid by construction; this skips
+        re-deriving that and the empty-transaction scan.  Ledger
+        effects are bit-identical to :meth:`append` for such blocks;
+        blocks carrying transactions are rejected (their transfers
+        would be silently dropped) — use :meth:`append` instead.
+        """
+        if block.transactions:
+            raise InvalidBlockError(
+                "append_trusted only accepts transaction-less blocks; "
+                "use append() for blocks carrying transactions"
+            )
+        credit = block.reward
         if credit > 0.0:
             self._balances[block.proposer] = (
                 self._balances.get(block.proposer, 0.0) + credit

@@ -74,7 +74,18 @@ class SystemExperiment:
     vesting_period:
         fsl-pos-withhold only: block height multiple at which pending
         rewards vest (Section 6.3).
+    fast:
+        Deploy the networks' vectorized loops (batched hash-oracle
+        draws, preallocated NumPy income ledgers; the default).
+        ``fast=False`` is the original per-object loop — bit-identical
+        results, kept as the differential-test reference, mirroring
+        the Monte Carlo engine's ``kernel="naive"`` escape hatch.
+        Deliberately excluded from cache fingerprints: one cached
+        artifact answers both paths.
     """
+
+    #: Attributes outside the content address (bit-identical knobs).
+    _fingerprint_exclude_ = frozenset({"fast"})
 
     def __init__(
         self,
@@ -88,6 +99,7 @@ class SystemExperiment:
         target_interval: float = 20.0,
         basetime: float = 60.0,
         vesting_period: int = 1000,
+        fast: bool = True,
     ) -> None:
         if protocol not in SYSTEM_PROTOCOLS:
             raise ValueError(
@@ -106,6 +118,7 @@ class SystemExperiment:
         )
         self.basetime = ensure_positive_float("basetime", basetime)
         self.vesting_period = ensure_positive_int("vesting_period", vesting_period)
+        self.fast = bool(fast)
 
     # -- deployment -----------------------------------------------------------
 
@@ -134,13 +147,23 @@ class SystemExperiment:
             adjuster = DifficultyAdjuster(
                 per_nonce * HASH_SPACE, self.target_interval
             )
-            return TickMiningNetwork(chain, nodes, adjuster, self.reward), chain
+            return (
+                TickMiningNetwork(
+                    chain, nodes, adjuster, self.reward, fast=self.fast
+                ),
+                chain,
+            )
         if self.protocol == "ml-pos":
             nodes = [MLPoSNode(address, oracle) for address in addresses]
             # Per-unit-stake threshold; total stake starts at 1.0.
             per_tick = 1.0 / self.target_interval
             adjuster = DifficultyAdjuster(per_tick * HASH_SPACE, self.target_interval)
-            return TickMiningNetwork(chain, nodes, adjuster, self.reward), chain
+            return (
+                TickMiningNetwork(
+                    chain, nodes, adjuster, self.reward, fast=self.fast
+                ),
+                chain,
+            )
         if self.protocol in ("sl-pos", "fsl-pos", "fsl-pos-withhold"):
             if self.protocol == "fsl-pos-withhold":
                 from .vesting import VestingBlockchain
@@ -152,7 +175,8 @@ class SystemExperiment:
             nodes = [node_type(address, oracle) for address in addresses]
             return (
                 DeadlineMiningNetwork(
-                    chain, nodes, self.reward, basetime=self.basetime
+                    chain, nodes, self.reward, basetime=self.basetime,
+                    fast=self.fast,
                 ),
                 chain,
             )
@@ -164,6 +188,7 @@ class SystemExperiment:
             proposer_reward=self.reward,
             inflation_reward=self.inflation_reward,
             shards=self.shards,
+            fast=self.fast,
         )
         return network, chain
 
@@ -185,10 +210,14 @@ class SystemExperiment:
         When an ambient :class:`~repro.runtime.ParallelRunner` is
         configured (the CLI's ``--workers``/``--cache`` flags), the
         repeats are sharded/cached through it; otherwise they run
-        serially in-process.
+        serially in-process.  ``rounds`` and ``repeats`` are validated
+        here, before any dispatch, so both paths reject bad values
+        identically.
         """
         from ..runtime.context import get_default_runtime
 
+        rounds = ensure_positive_int("rounds", rounds)
+        repeats = ensure_positive_int("repeats", repeats)
         runtime = get_default_runtime()
         if runtime is not None:
             return runtime.run_system(
@@ -216,18 +245,15 @@ class SystemExperiment:
 
         fractions = np.empty((repeats, len(checkpoint_list), len(addresses)))
         terminal = np.empty((repeats, len(addresses)))
+        rows = np.asarray(checkpoint_list, dtype=np.intp) - 1
         for repeat, child in enumerate(source.spawn(repeats)):
             oracle_seed = int(child.generator().integers(0, 2**62))
             network, chain = self._deploy(HashOracle(oracle_seed))
             network.run(rounds)
-            incomes = network.income_series(addresses)
-            issued = network.total_issued_series()
-            for c_index, checkpoint in enumerate(checkpoint_list):
-                total = issued[checkpoint - 1]
-                for m_index, address in enumerate(addresses):
-                    fractions[repeat, c_index, m_index] = (
-                        incomes[address][checkpoint - 1] / total
-                    )
+            # One array divide over (checkpoints, miners) — the same
+            # scalar divisions the per-checkpoint loop performed.
+            history, issued = network.ledgers(addresses)
+            np.divide(history[rows], issued[rows][:, None], out=fractions[repeat])
             for m_index, address in enumerate(addresses):
                 terminal[repeat, m_index] = chain.balance(address)
         return EnsembleResult(

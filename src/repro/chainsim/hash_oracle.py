@@ -47,9 +47,20 @@ class HashOracle:
     def __init__(self, seed: int = 0) -> None:
         if not isinstance(seed, int):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = seed
         self._key = seed.to_bytes(32, "big", signed=False) if seed >= 0 else (
             (-seed).to_bytes(32, "big") + b"-"
         )
+        # Keyed start state, copied per digest: hashing the key once and
+        # cloning the hasher consumes the identical byte stream as
+        # re-feeding the key on every call, at a fraction of the cost.
+        base = hashlib.sha256()
+        base.update(self._key)
+        self._base = base
+
+    def __reduce__(self):
+        # The cached _hashlib state is unpicklable; rebuild from the seed.
+        return (type(self), (self._seed,))
 
     @staticmethod
     def _encode(field: _FieldType) -> bytes:
@@ -72,13 +83,61 @@ class HashOracle:
         Fields are length-prefixed before concatenation so that
         distinct field tuples can never collide by boundary ambiguity.
         """
-        hasher = hashlib.sha256()
-        hasher.update(self._key)
+        hasher = self._base.copy()
         for field in fields:
             encoded = self._encode(field)
             hasher.update(len(encoded).to_bytes(4, "big"))
             hasher.update(encoded)
         return int.from_bytes(hasher.digest(), "big")
+
+    # -- batched draws ------------------------------------------------------
+    #
+    # The node-level mining loops evaluate millions of digests whose
+    # field tuples share long common prefixes (same tick, same parent
+    # hash, same address).  The methods below expose the oracle's wire
+    # format so hot loops can cache encoded fields and pre-hashed
+    # prefixes; `digest_tail(prefix(*head), chunk(f))` consumes the
+    # identical byte stream as `digest(*head, f)` and is therefore
+    # bit-identical by construction.
+
+    @classmethod
+    def chunk(cls, field: _FieldType) -> bytes:
+        """The length-prefixed wire encoding of one field.
+
+        ``digest(*fields)`` hashes exactly the concatenation of the
+        fields' chunks (after the key), so chunks may be cached and fed
+        to pre-hashed prefixes without changing a single digest.
+        """
+        encoded = cls._encode(field)
+        return len(encoded).to_bytes(4, "big") + encoded
+
+    def prefix(self, *fields: _FieldType):
+        """A reusable hasher pre-loaded with the key and ``fields``.
+
+        The returned object is a standard ``hashlib`` hasher: extend a
+        ``copy()`` of it with further chunks (:meth:`digest_tail`) to
+        evaluate many digests sharing this field prefix.
+        """
+        hasher = self._base.copy()
+        for field in fields:
+            hasher.update(self.chunk(field))
+        return hasher
+
+    @staticmethod
+    def digest_tail(prefix, *chunks: bytes) -> int:
+        """Finish a digest from a pre-hashed prefix and trailing chunks."""
+        hasher = prefix.copy()
+        for chunk in chunks:
+            hasher.update(chunk)
+        return int.from_bytes(hasher.digest(), "big")
+
+    @staticmethod
+    def fraction_tail(prefix, *chunks: bytes) -> float:
+        """Like :meth:`digest_tail`, mapped to ``[0, 1)`` as :meth:`fraction`."""
+        hasher = prefix.copy()
+        for chunk in chunks:
+            hasher.update(chunk)
+        return (int.from_bytes(hasher.digest(), "big") >> (256 - 53)) / float(1 << 53)
 
     def fraction(self, *fields: _FieldType) -> float:
         """The digest mapped to a float in ``[0, 1)``.

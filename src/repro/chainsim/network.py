@@ -15,26 +15,142 @@ Three engines matching the three interaction styles of the protocols:
 Every engine exposes ``income_series(addresses)`` — cumulative income
 per address after each round — which is what the fairness harness
 consumes.
+
+Each engine has two bit-identical execution paths selected by the
+``fast`` flag (mirroring the Monte Carlo engine's
+``kernel="batched" | "naive"`` knob):
+
+* ``fast=True`` (default) keeps hot state in preallocated NumPy
+  income/issuance ledgers (:class:`_ArrayIncomeTracker`) and draws
+  lottery digests through the hash oracle's batched-prefix interface
+  (:class:`SharedRoundDraws`), so the per-round cost is dominated by
+  the unavoidable SHA-256 tail updates instead of re-keyed hashing and
+  dict bookkeeping;
+* ``fast=False`` is the original per-round object loop, kept verbatim
+  as the differential-test reference.
 """
 
 from __future__ import annotations
 
+import math
+
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .._validation import ensure_positive_float, ensure_positive_int
-from .block import Block
+from .block import Block, fast_block
 from .chain import Blockchain
 from .c_pos_node import CPoSCommittee, CPoSValidator
 from .difficulty import DifficultyAdjuster
-from .hash_oracle import HashOracle
+from .hash_oracle import HASH_SPACE, HashOracle
 from .mempool import Mempool
+from .ml_pos_node import MLPoSNode
 from .node import MiningNode
+from .pow_node import PoWNode
+from .sl_pos_node import FSLPoSNode, SLPoSNode
 
-__all__ = ["TickMiningNetwork", "DeadlineMiningNetwork", "CPoSNetwork"]
+
+def _resolve_fast_method(node, stock_types, naive_name, fast_name):
+    """The per-round method the fast loops may safely call on ``node``.
+
+    Mirrors the kernel registry's exact-type doctrine: the batched-draw
+    method is trusted for exact stock types and for classes that
+    *explicitly* define their own fast method (including the base
+    delegator).  A subclass that overrides the naive method while
+    inheriting a stock fast implementation would silently diverge, so
+    it gets the naive method instead.
+    """
+    cls = type(node)
+    fast = getattr(node, fast_name)
+    if cls in stock_types:
+        return fast
+    stock_fast = {getattr(stock, fast_name) for stock in stock_types}
+    if getattr(cls, fast_name) not in stock_fast:
+        # Explicit override or the MiningNode delegator — both honor
+        # the bit-identity contract by definition.
+        return fast
+    naive = getattr(node, naive_name)
+
+    def call_naive(chain, *args):
+        # Same signature as the fast method; the trailing shared-draws
+        # argument is dropped.
+        return naive(chain, *args[:-1])
+
+    return call_naive
+
+__all__ = [
+    "SharedRoundDraws",
+    "TickMiningNetwork",
+    "DeadlineMiningNetwork",
+    "CPoSNetwork",
+]
+
+
+class SharedRoundDraws:
+    """Per-round cache of oracle encodings shared across nodes.
+
+    Built once per tick (tick networks) or per block (deadline
+    networks) and handed to every node's ``fast_*`` method, so the
+    encodings of the fields all nodes hash this round — the tick, the
+    parent hash — are computed once instead of once per node, and the
+    common digest prefix of the tick lottery is hashed once.
+
+    Everything is lazy: a node type only pays for the pieces it reads.
+    """
+
+    __slots__ = (
+        "oracle",
+        "parent_hash",
+        "parent_timestamp",
+        "tick",
+        "_parent_chunk",
+        "_tick_parent_prefix",
+    )
+
+    def __init__(
+        self,
+        oracle: HashOracle,
+        parent_hash: int,
+        parent_timestamp: float = 0.0,
+        tick: Optional[int] = None,
+    ) -> None:
+        self.oracle = oracle
+        self.parent_hash = parent_hash
+        self.parent_timestamp = parent_timestamp
+        self.tick = tick
+        self._parent_chunk: Optional[bytes] = None
+        self._tick_parent_prefix = None
+
+    def parent_chunk(self) -> bytes:
+        """Wire encoding of the parent hash (cached)."""
+        chunk = self._parent_chunk
+        if chunk is None:
+            chunk = self._parent_chunk = HashOracle.chunk(self.parent_hash)
+        return chunk
+
+    def tick_parent_prefix(self):
+        """Pre-hashed ``key + tick + parent`` digest prefix (cached).
+
+        The shared head of every ML-PoS lottery digest this tick;
+        finish a copy with a node's address chunk.
+        """
+        prefix = self._tick_parent_prefix
+        if prefix is None:
+            prefix = self.oracle.prefix()
+            prefix.update(HashOracle.chunk(self.tick))
+            prefix.update(self.parent_chunk())
+            self._tick_parent_prefix = prefix
+        return prefix
 
 
 class _IncomeTracker:
-    """Cumulative per-round income bookkeeping shared by the engines."""
+    """Cumulative per-round income bookkeeping shared by the engines.
+
+    The dict-of-lists reference implementation, used by the
+    ``fast=False`` paths; :class:`_ArrayIncomeTracker` is its
+    bit-identical preallocated-NumPy twin.
+    """
 
     def __init__(self, addresses: Sequence[str]) -> None:
         self._addresses = list(addresses)
@@ -42,6 +158,9 @@ class _IncomeTracker:
         self._history: Dict[str, List[float]] = {a: [] for a in self._addresses}
         self.total_issued_history: List[float] = []
         self._total_issued = 0.0
+
+    def reserve(self, rounds: int) -> None:
+        """Capacity hint; the list-backed tracker ignores it."""
 
     def record_round(self, incomes: Dict[str, float]) -> None:
         for address, amount in incomes.items():
@@ -52,8 +171,129 @@ class _IncomeTracker:
             self._history[address].append(self._totals[address])
         self.total_issued_history.append(self._total_issued)
 
+    def record_single(self, address: str, amount: float) -> None:
+        """Record a round in which one address earned everything."""
+        self.record_round({address: amount})
+
+    def record_amounts(self, amounts: Sequence[float]) -> None:
+        """Record a round of per-address incomes, in address order."""
+        self.record_round(dict(zip(self._addresses, amounts)))
+
     def income_series(self, addresses: Sequence[str]) -> Dict[str, List[float]]:
         return {a: list(self._history[a]) for a in addresses}
+
+    def ledgers(self, addresses: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """``(history, issued)`` arrays: cumulative income per round and
+        address (rounds x len(addresses), columns in ``addresses``
+        order) and total issuance per round."""
+        history = np.array(
+            [self._history[a] for a in addresses], dtype=np.float64
+        ).T.reshape(len(self.total_issued_history), len(addresses))
+        issued = np.array(self.total_issued_history, dtype=np.float64)
+        return history, issued
+
+
+class _ArrayIncomeTracker:
+    """Preallocated NumPy income/issuance ledgers.
+
+    Bit-identical to :class:`_IncomeTracker`: every recorded amount is
+    added to the same running total with one IEEE double addition, and
+    the network-wide issuance accumulates in the same per-address
+    order; only the storage (preallocated arrays vs dicts of growing
+    lists) differs.
+    """
+
+    def __init__(self, addresses: Sequence[str]) -> None:
+        self._addresses = list(addresses)
+        self._index = {a: i for i, a in enumerate(self._addresses)}
+        width = len(self._addresses)
+        self._totals = np.zeros(width, dtype=np.float64)
+        self._history = np.empty((0, width), dtype=np.float64)
+        self._issued = np.empty(0, dtype=np.float64)
+        self._rounds = 0
+        self._total_issued = 0.0
+
+    def reserve(self, rounds: int) -> None:
+        """Ensure capacity for ``rounds`` more recorded rounds."""
+        needed = self._rounds + rounds
+        capacity = self._issued.shape[0]
+        if needed <= capacity:
+            return
+        capacity = max(needed, 2 * capacity, 64)
+        history = np.empty((capacity, self._totals.shape[0]), dtype=np.float64)
+        history[: self._rounds] = self._history[: self._rounds]
+        issued = np.empty(capacity, dtype=np.float64)
+        issued[: self._rounds] = self._issued[: self._rounds]
+        self._history = history
+        self._issued = issued
+
+    def _commit_row(self) -> None:
+        if self._rounds == self._issued.shape[0]:
+            self.reserve(1)
+        row = self._rounds
+        self._history[row] = self._totals
+        self._issued[row] = self._total_issued
+        self._rounds = row + 1
+
+    def record_single(self, address: str, amount: float) -> None:
+        """Record a round in which one address earned everything."""
+        index = self._index.get(address)
+        if index is not None:
+            self._totals[index] += amount
+        self._total_issued += amount
+        self._commit_row()
+
+    def record_amounts(self, amounts: Sequence[float]) -> None:
+        """Record a round of per-address incomes, in address order."""
+        totals = self._totals
+        total_issued = self._total_issued
+        for index, amount in enumerate(amounts):
+            totals[index] += amount
+            total_issued += amount
+        self._total_issued = total_issued
+        self._commit_row()
+
+    def record_round(self, incomes: Dict[str, float]) -> None:
+        """Record a round of per-address incomes keyed by address.
+
+        Same accumulation order as :meth:`_IncomeTracker.record_round`
+        (dict insertion order; unknown addresses count toward issuance
+        only), so the naive engine bodies can run on this tracker too.
+        """
+        index = self._index
+        totals = self._totals
+        total_issued = self._total_issued
+        for address, amount in incomes.items():
+            position = index.get(address)
+            if position is not None:
+                totals[position] += amount
+            total_issued += amount
+        self._total_issued = total_issued
+        self._commit_row()
+
+    @property
+    def total_issued_history(self) -> List[float]:
+        return self._issued[: self._rounds].tolist()
+
+    def income_series(self, addresses: Sequence[str]) -> Dict[str, List[float]]:
+        history = self._history
+        rounds = self._rounds
+        return {
+            a: history[:rounds, self._index[a]].tolist() for a in addresses
+        }
+
+    def ledgers(self, addresses: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """See :meth:`_IncomeTracker.ledgers`; array slices, no copies
+        beyond the column selection."""
+        columns = [self._index[a] for a in addresses]
+        return (
+            self._history[: self._rounds][:, columns],
+            self._issued[: self._rounds],
+        )
+
+
+def _make_tracker(addresses: Sequence[str], fast: bool):
+    return _ArrayIncomeTracker(addresses) if fast else _IncomeTracker(addresses)
 
 
 class TickMiningNetwork:
@@ -74,6 +314,9 @@ class TickMiningNetwork:
     max_ticks_per_block:
         Safety valve: raise instead of looping forever when the
         difficulty is impossibly low.
+    fast:
+        Use the batched-draw loop with NumPy ledgers (default); False
+        runs the original per-object loop.  Bit-identical either way.
     """
 
     def __init__(
@@ -86,6 +329,7 @@ class TickMiningNetwork:
         mempool: Optional[Mempool] = None,
         max_txs_per_block: int = 100,
         max_ticks_per_block: int = 1_000_000,
+        fast: bool = True,
     ) -> None:
         if not nodes:
             raise ValueError("need at least one node")
@@ -100,11 +344,77 @@ class TickMiningNetwork:
         self.max_ticks_per_block = ensure_positive_int(
             "max_ticks_per_block", max_ticks_per_block
         )
+        self.fast = bool(fast)
         self.tick = 0
-        self._tracker = _IncomeTracker([n.address for n in self.nodes])
+        # Exact-type specialization (mirroring the kernel registry's
+        # exact-type rule): a subclass may override try_propose, so the
+        # fully inlined ML-PoS race only engages for stock nodes on one
+        # shared oracle; anything else takes the generic fast loop.
+        self._ml_homogeneous = all(
+            type(node) is MLPoSNode for node in self.nodes
+        ) and len({id(node.oracle) for node in self.nodes}) == 1
+        self._propose_calls = [
+            (
+                _resolve_fast_method(
+                    node, (MLPoSNode, PoWNode),
+                    "try_propose", "fast_try_propose",
+                ),
+                node,
+            )
+            for node in self.nodes
+        ]
+        self._tracker = _make_tracker([n.address for n in self.nodes], self.fast)
+
+    def _seal_block(
+        self, digest: int, winner: MiningNode, trusted: bool = False
+    ) -> Block:
+        """Shared block assembly: transactions, append, retarget, record.
+
+        ``trusted`` (fast paths only) takes the validation-free append
+        when there is no mempool — the block is transaction-less and
+        built from the tip, so every checked property holds by
+        construction.
+        """
+        if trusted and self.mempool is None:
+            block = fast_block(
+                height=self.chain.height + 1,
+                parent_hash=self.chain.tip.block_hash,
+                block_hash=digest,
+                proposer=winner.address,
+                timestamp=float(self.tick),
+                reward=self.block_reward,
+            )
+            self.chain.append_trusted(block)
+            self.adjuster.observe_block(block.timestamp)
+            # No mempool: total_fees is exactly zero, so the recorded
+            # income is the bare subsidy.
+            self._tracker.record_single(winner.address, self.block_reward)
+            return block
+        transactions = (
+            tuple(self.mempool.take(self.max_txs_per_block))
+            if self.mempool is not None
+            else ()
+        )
+        block = Block(
+            height=self.chain.height + 1,
+            parent_hash=self.chain.tip.block_hash,
+            block_hash=digest,
+            proposer=winner.address,
+            timestamp=float(self.tick),
+            reward=self.block_reward,
+            transactions=transactions,
+        )
+        self.chain.append(block)
+        self.adjuster.observe_block(block.timestamp)
+        self._tracker.record_single(
+            winner.address, self.block_reward + block.total_fees
+        )
+        return block
 
     def mine_block(self) -> Block:
         """Advance ticks until some node wins the lottery; append the block."""
+        if self.fast:
+            return self._mine_block_fast()
         ticks_waited = 0
         while True:
             self.tick += 1
@@ -122,30 +432,105 @@ class TickMiningNetwork:
             if not candidates:
                 continue
             digest, winner = min(candidates, key=lambda item: item[0])
-            transactions = (
-                tuple(self.mempool.take(self.max_txs_per_block))
-                if self.mempool is not None
-                else ()
+            return self._seal_block(digest, winner)
+
+    def _mine_block_fast(self) -> Block:
+        """The batched-draw tick loop: per-tick shared encodings, one
+        common digest prefix, candidate race identical to the naive
+        loop (lowest digest wins, earlier node on ties)."""
+        if self._ml_homogeneous:
+            return self._mine_block_ml_pos()
+        chain = self.chain
+        nodes = self.nodes
+        oracle = nodes[0].oracle
+        ticks_waited = 0
+        while True:
+            self.tick += 1
+            ticks_waited += 1
+            if ticks_waited > self.max_ticks_per_block:
+                raise RuntimeError(
+                    "no block found within max_ticks_per_block; "
+                    "difficulty is too low"
+                )
+            tick = self.tick
+            tip = chain.tip
+            shared = SharedRoundDraws(oracle, tip.block_hash, tip.timestamp, tick)
+            difficulty = self.adjuster.difficulty
+            best_digest: Optional[int] = None
+            winner: Optional[MiningNode] = None
+            for propose, node in self._propose_calls:
+                digest = propose(chain, tick, difficulty, shared)
+                if digest is not None and (
+                    best_digest is None or digest < best_digest
+                ):
+                    best_digest = digest
+                    winner = node
+            if winner is None:
+                continue
+            return self._seal_block(best_digest, winner, trusted=True)
+
+    def _mine_block_ml_pos(self) -> Block:
+        """Fully inlined ML-PoS race for stock nodes on one oracle.
+
+        Within a block, balances and difficulty are frozen (both change
+        only when a block seals), so each node's success threshold is
+        hoisted out of the tick loop; every tick then costs one shared
+        ``key+tick+parent`` prefix hash plus one hasher-copy/finalize
+        per node.  Digest values, thresholds and the lowest-digest
+        tie-break all replicate :meth:`MLPoSNode.try_propose` exactly
+        (a zero-stake node's threshold of 0 can never beat a
+        non-negative digest, matching its early ``None``).
+        """
+        chain = self.chain
+        nodes = self.nodes
+        oracle = nodes[0].oracle
+        difficulty = self.adjuster.difficulty
+        if difficulty <= 0.0:
+            # The naive loop raises from the first node's try_propose,
+            # after the tick has advanced; replicate that state.
+            self.tick += 1
+            raise ValueError("difficulty must be positive")
+        targets = []
+        for node in nodes:
+            stake = chain.balance(node.address)
+            targets.append(
+                min(int(difficulty * stake), HASH_SPACE) if stake > 0.0 else 0
             )
-            block = Block(
-                height=self.chain.height + 1,
-                parent_hash=self.chain.tip.block_hash,
-                block_hash=digest,
-                proposer=winner.address,
-                timestamp=float(self.tick),
-                reward=self.block_reward,
-                transactions=transactions,
-            )
-            self.chain.append(block)
-            self.adjuster.observe_block(block.timestamp)
-            self._tracker.record_round(
-                {winner.address: self.block_reward + block.total_fees}
-            )
-            return block
+        node_race = list(zip(targets, [n._address_chunk for n in nodes], nodes))
+        parent_chunk = HashOracle.chunk(chain.tip.block_hash)
+        from_bytes = int.from_bytes
+        ticks_waited = 0
+        while True:
+            self.tick += 1
+            ticks_waited += 1
+            if ticks_waited > self.max_ticks_per_block:
+                raise RuntimeError(
+                    "no block found within max_ticks_per_block; "
+                    "difficulty is too low"
+                )
+            tick = self.tick
+            prefix = oracle.prefix()
+            prefix.update(HashOracle.chunk(tick))
+            prefix.update(parent_chunk)
+            best_digest: Optional[int] = None
+            winner: Optional[MiningNode] = None
+            for target, address_chunk, node in node_race:
+                hasher = prefix.copy()
+                hasher.update(address_chunk)
+                digest = from_bytes(hasher.digest(), "big")
+                if digest < target and (
+                    best_digest is None or digest < best_digest
+                ):
+                    best_digest = digest
+                    winner = node
+            if winner is None:
+                continue
+            return self._seal_block(best_digest, winner, trusted=True)
 
     def run(self, blocks: int) -> None:
         """Mine ``blocks`` consecutive blocks."""
         blocks = ensure_positive_int("blocks", blocks)
+        self._tracker.reserve(blocks)
         for _ in range(blocks):
             self.mine_block()
 
@@ -156,6 +541,10 @@ class TickMiningNetwork:
     def total_issued_series(self) -> List[float]:
         """Total rewards issued network-wide after each block."""
         return list(self._tracker.total_issued_history)
+
+    def ledgers(self, addresses: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative income and issuance ledgers as arrays."""
+        return self._tracker.ledgers(addresses)
 
 
 class DeadlineMiningNetwork:
@@ -170,6 +559,7 @@ class DeadlineMiningNetwork:
         basetime: float = 60.0,
         mempool: Optional[Mempool] = None,
         max_txs_per_block: int = 100,
+        fast: bool = True,
     ) -> None:
         if not nodes:
             raise ValueError("need at least one node")
@@ -181,17 +571,68 @@ class DeadlineMiningNetwork:
         self.max_txs_per_block = ensure_positive_int(
             "max_txs_per_block", max_txs_per_block
         )
-        self._tracker = _IncomeTracker([n.address for n in self.nodes])
+        self.fast = bool(fast)
+        self._block_prefix = None
+        # Exact-type specialization, as in TickMiningNetwork: the fully
+        # inlined deadline race only engages for homogeneous stock
+        # SL/FSL nodes on one shared oracle.
+        node_types = {type(node) for node in self.nodes}
+        self._deadline_exponential: Optional[bool] = None
+        if len(node_types) == 1 and len(
+            {id(node.oracle) for node in self.nodes}
+        ) == 1:
+            if node_types == {SLPoSNode}:
+                self._deadline_exponential = False
+            elif node_types == {FSLPoSNode}:
+                self._deadline_exponential = True
+        self._deadline_calls = [
+            (
+                _resolve_fast_method(
+                    node, (SLPoSNode, FSLPoSNode),
+                    "proposal_deadline", "fast_proposal_deadline",
+                ),
+                node,
+            )
+            for node in self.nodes
+        ]
+        self._tracker = _make_tracker([n.address for n in self.nodes], self.fast)
 
-    def mine_block(self) -> Block:
-        """Resolve the deadline race for the next block and append it."""
-        deadlines: List[Tuple[float, str, MiningNode]] = []
-        for node in self.nodes:
-            deadline = node.proposal_deadline(self.chain, self.basetime)
-            deadlines.append((deadline, node.address, node))
-        deadline, _, winner = min(deadlines)
-        if deadline == float("inf"):
-            raise RuntimeError("no node can propose (all stakes are zero)")
+    def _winner_digest(self, winner: MiningNode, shared=None) -> int:
+        """The accepted block's hash (same formula on both paths)."""
+        tip_hash = self.chain.tip.block_hash
+        if shared is not None and winner.oracle is shared.oracle:
+            prefix = self._block_prefix
+            if prefix is None:
+                prefix = self._block_prefix = shared.oracle.prefix("block")
+            tail = HashOracle.digest_tail(
+                prefix, winner._address_chunk, shared.parent_chunk()
+            )
+        else:
+            tail = winner.oracle.digest("block", winner.address, tip_hash)
+        return tip_hash + 1 + tail % (1 << 64)
+
+    def _seal_block(
+        self,
+        deadline: float,
+        winner: MiningNode,
+        shared=None,
+        trusted: bool = False,
+    ) -> Block:
+        if trusted and self.mempool is None:
+            # Stock-node fast path: the deadline extends the tip by a
+            # non-negative wait and there are no transactions, so every
+            # validated property holds by construction.
+            block = fast_block(
+                height=self.chain.height + 1,
+                parent_hash=self.chain.tip.block_hash,
+                block_hash=self._winner_digest(winner, shared),
+                proposer=winner.address,
+                timestamp=deadline,
+                reward=self.block_reward,
+            )
+            self.chain.append_trusted(block)
+            self._tracker.record_single(winner.address, self.block_reward)
+            return block
         transactions = (
             tuple(self.mempool.take(self.max_txs_per_block))
             if self.mempool is not None
@@ -200,23 +641,107 @@ class DeadlineMiningNetwork:
         block = Block(
             height=self.chain.height + 1,
             parent_hash=self.chain.tip.block_hash,
-            block_hash=self.chain.tip.block_hash + 1 + winner.oracle.digest(
-                "block", winner.address, self.chain.tip.block_hash
-            ) % (1 << 64),
+            block_hash=self._winner_digest(winner, shared),
             proposer=winner.address,
             timestamp=deadline,
             reward=self.block_reward,
             transactions=transactions,
         )
         self.chain.append(block)
-        self._tracker.record_round(
-            {winner.address: self.block_reward + block.total_fees}
+        self._tracker.record_single(
+            winner.address, self.block_reward + block.total_fees
         )
         return block
+
+    def _mine_block_deadline_fast(self) -> Block:
+        """Fully inlined deadline race for homogeneous SL/FSL nodes.
+
+        Replicates the naive ``min((deadline, address, node))`` tuple
+        race — strict deadline comparison, address tie-break — with the
+        per-node hash reduced to one cached-prefix copy/finalize and
+        the deadline arithmetic evaluated in the nodes' exact
+        expression order.
+        """
+        chain = self.chain
+        tip = chain.tip
+        tip_timestamp = tip.timestamp
+        basetime = self.basetime
+        exponential = self._deadline_exponential
+        shared = SharedRoundDraws(
+            self.nodes[0].oracle, tip.block_hash, tip_timestamp
+        )
+        tip_chunk = shared.parent_chunk()
+        from_bytes = int.from_bytes
+        log1p = math.log1p
+        inf = math.inf
+        best: Optional[float] = None
+        best_address: Optional[str] = None
+        winner: Optional[MiningNode] = None
+        for node in self.nodes:
+            stake = chain.balance(node.address)
+            if stake <= 0.0:
+                deadline = inf
+            else:
+                prefix = node._deadline_prefix
+                if prefix is None:
+                    prefix = node._deadline_prefix = node.oracle.prefix(
+                        node.address
+                    )
+                # Inlined HashOracle.fraction_tail (hot: per node
+                # per block) — same copy/update/finalize and 53-bit map.
+                hasher = prefix.copy()
+                hasher.update(tip_chunk)
+                u = (from_bytes(hasher.digest(), "big") >> 203) / 9007199254740992.0
+                if exponential:
+                    deadline = tip_timestamp + basetime * (-log1p(-u)) / stake
+                else:
+                    deadline = tip_timestamp + basetime * u / stake
+            if (
+                winner is None
+                or deadline < best
+                or (deadline == best and node.address < best_address)
+            ):
+                best = deadline
+                best_address = node.address
+                winner = node
+        if best == inf:
+            raise RuntimeError("no node can propose (all stakes are zero)")
+        return self._seal_block(best, winner, shared, trusted=True)
+
+    def mine_block(self) -> Block:
+        """Resolve the deadline race for the next block and append it."""
+        if self.fast:
+            if self._deadline_exponential is not None:
+                return self._mine_block_deadline_fast()
+            tip = self.chain.tip
+            shared = SharedRoundDraws(
+                self.nodes[0].oracle, tip.block_hash, tip.timestamp
+            )
+            deadlines = [
+                (
+                    propose(self.chain, self.basetime, shared),
+                    node.address,
+                    node,
+                )
+                for propose, node in self._deadline_calls
+            ]
+            deadline, _, winner = min(deadlines)
+            if deadline == float("inf"):
+                raise RuntimeError("no node can propose (all stakes are zero)")
+            return self._seal_block(deadline, winner, shared)
+        deadlines: List[Tuple[float, str, MiningNode]] = []
+        for node in self.nodes:
+            deadline = node.proposal_deadline(self.chain, self.basetime)
+            deadlines.append((deadline, node.address, node))
+        deadline, _, winner = min(deadlines)
+        if deadline == float("inf"):
+            raise RuntimeError("no node can propose (all stakes are zero)")
+        return self._seal_block(deadline, winner)
 
     def run(self, blocks: int) -> None:
         """Mine ``blocks`` consecutive blocks."""
         blocks = ensure_positive_int("blocks", blocks)
+        self._tracker.reserve(blocks)
         for _ in range(blocks):
             self.mine_block()
 
@@ -227,6 +752,10 @@ class DeadlineMiningNetwork:
     def total_issued_series(self) -> List[float]:
         """Total rewards issued network-wide after each block."""
         return list(self._tracker.total_issued_history)
+
+    def ledgers(self, addresses: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative income and issuance ledgers as arrays."""
+        return self._tracker.ledgers(addresses)
 
 
 class CPoSNetwork:
@@ -243,6 +772,7 @@ class CPoSNetwork:
         shards: int = 32,
         vote_participation: float = 1.0,
         epoch_duration: float = 384.0,
+        fast: bool = True,
     ) -> None:
         self.chain = chain
         self.committee = CPoSCommittee(validators, oracle, shards)
@@ -258,10 +788,25 @@ class CPoSNetwork:
         self.epoch_duration = ensure_positive_float("epoch_duration", epoch_duration)
         self.epoch = 0
         self.oracle = oracle
-        self._tracker = _IncomeTracker([v.address for v in self.committee.validators])
+        self.fast = bool(fast)
+        # Exact-type specialization, as in the mining networks: the
+        # inlined epoch loop reads stakes straight off the ledger, so a
+        # CPoSValidator subclass overriding stake() must take the naive
+        # body (which consults v.stake) even under fast=True.
+        self._stock_validators = all(
+            type(validator) is CPoSValidator
+            for validator in self.committee.validators
+        )
+        self._addresses = [v.address for v in self.committee.validators]
+        self._shard_chunks = [
+            HashOracle.chunk(shard) for shard in range(self.committee.shards)
+        ]
+        self._tracker = _make_tracker(self._addresses, self.fast)
 
     def run_epoch(self) -> List[str]:
         """Run one epoch: elect shard proposers, append blocks, pay attesters."""
+        if self.fast and self._stock_validators:
+            return self._run_epoch_fast()
         incomes: Dict[str, float] = {
             v.address: 0.0 for v in self.committee.validators
         }
@@ -293,9 +838,88 @@ class CPoSNetwork:
         self.epoch += 1
         return proposers
 
+    def _run_epoch_fast(self) -> List[str]:
+        """One epoch with shared stake shares, pre-hashed digest
+        prefixes and array income ledgers.
+
+        The naive path computes the stake-share dict twice (attester
+        rewards, then proposer election) from the same epoch-start
+        balances; computing it once yields the identical values.  All
+        float accumulation orders — issuance, per-validator incomes,
+        the election CDF walk — replicate the naive loop exactly.
+        """
+        chain = self.chain
+        addresses = self._addresses
+        count = len(addresses)
+        stakes = [chain.balance(address) for address in addresses]
+        total = sum(stakes)
+        if total <= 0.0:
+            raise ValueError("total validator stake must be positive")
+        shares = [stake / total for stake in stakes]
+        paid = self.inflation_reward * self.vote_participation
+        attester_amounts = [paid * share for share in shares]
+
+        oracle = self.oracle
+        shard_chunks = self._shard_chunks
+        epoch = self.epoch
+        chunk = HashOracle.chunk
+        from_bytes = int.from_bytes
+        tip_chunk = chunk(chain.tip.block_hash)
+        randao_prefix = oracle.prefix("randao", epoch)
+        shards = self.committee.shards
+        last = count - 1
+        proposer_indices: List[int] = []
+        for shard in range(shards):
+            # Inlined HashOracle.fraction_tail (hot: per shard).
+            hasher = randao_prefix.copy()
+            hasher.update(shard_chunks[shard])
+            hasher.update(tip_chunk)
+            u = (from_bytes(hasher.digest(), "big") >> 203) / 9007199254740992.0
+            cumulative = 0.0
+            chosen = last
+            for index in range(count):
+                cumulative += shares[index]
+                if u < cumulative:
+                    chosen = index
+                    break
+            proposer_indices.append(chosen)
+
+        incomes = [0.0] * count
+        per_shard_reward = self.proposer_reward / shards
+        base_time = epoch * self.epoch_duration
+        epoch_duration = self.epoch_duration
+        block_prefix = oracle.prefix("block", epoch)
+        height = chain.height
+        tip_hash = chain.tip.block_hash
+        for shard, proposer_index in enumerate(proposer_indices):
+            # Inlined HashOracle.digest_tail (hot: per shard; the
+            # evolving tip's encoding cannot be hoisted).
+            hasher = block_prefix.copy()
+            hasher.update(shard_chunks[shard])
+            hasher.update(chunk(tip_hash))
+            height += 1
+            block = fast_block(
+                height=height,
+                parent_hash=tip_hash,
+                block_hash=from_bytes(hasher.digest(), "big"),
+                proposer=addresses[proposer_index],
+                timestamp=base_time + (shard + 1) * epoch_duration / shards,
+                reward=per_shard_reward,
+            )
+            chain.append_trusted(block)
+            tip_hash = block.block_hash
+            incomes[proposer_index] += per_shard_reward
+        for index, address in enumerate(addresses):
+            chain.credit(address, attester_amounts[index])
+            incomes[index] += attester_amounts[index]
+        self._tracker.record_amounts(incomes)
+        self.epoch += 1
+        return [addresses[index] for index in proposer_indices]
+
     def run(self, epochs: int) -> None:
         """Run ``epochs`` consecutive epochs."""
         epochs = ensure_positive_int("epochs", epochs)
+        self._tracker.reserve(epochs)
         for _ in range(epochs):
             self.run_epoch()
 
@@ -306,3 +930,7 @@ class CPoSNetwork:
     def total_issued_series(self) -> List[float]:
         """Total rewards issued network-wide after each epoch."""
         return list(self._tracker.total_issued_history)
+
+    def ledgers(self, addresses: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+        """Cumulative income and issuance ledgers as arrays."""
+        return self._tracker.ledgers(addresses)

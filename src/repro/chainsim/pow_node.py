@@ -18,6 +18,11 @@ from .node import MiningNode
 
 __all__ = ["PoWNode"]
 
+#: 4-byte big-endian length prefixes (the oracle wire format's field
+#: framing, precomputed) for nonce encodings up to 63 bytes — i.e.
+#: nonces below ~2^480, far beyond any reachable grind.
+_LEN4 = tuple(n.to_bytes(4, "big") for n in range(64))
+
 
 class PoWNode(MiningNode):
     """A proof-of-work miner.
@@ -35,6 +40,8 @@ class PoWNode(MiningNode):
         super().__init__(address, oracle)
         self.hash_rate = ensure_positive_int("hash_rate", hash_rate)
         self._nonce = 0
+        self._grind_parent: Optional[int] = None
+        self._grind_prefix = None
 
     def try_propose(
         self, chain: Blockchain, tick: int, difficulty: float
@@ -50,4 +57,49 @@ class PoWNode(MiningNode):
             self._nonce += 1
             if digest < target and (best is None or digest < best):
                 best = digest
+        return best
+
+    def fast_try_propose(
+        self, chain: Blockchain, tick: int, difficulty: float, shared
+    ) -> Optional[int]:
+        """Grind against a per-``(address, parent)`` pre-hashed prefix.
+
+        The digest fields are ``(address, parent, nonce)``, so the
+        whole key+address+parent state is hashed once per block and
+        each nonce pays one hasher copy plus its own encoding —
+        bit-identical to :meth:`try_propose` by the oracle's wire
+        format.
+        """
+        if shared.oracle is not self.oracle:
+            return self.try_propose(chain, tick, difficulty)
+        if difficulty <= 0.0:
+            raise ValueError("difficulty must be positive")
+        target = min(int(difficulty), HASH_SPACE)
+        parent_hash = chain.tip.block_hash
+        if parent_hash != self._grind_parent:
+            prefix = self.oracle.prefix()
+            prefix.update(self._address_chunk)
+            prefix.update(shared.parent_chunk())
+            self._grind_prefix = prefix
+            self._grind_parent = parent_hash
+        best: Optional[int] = None
+        nonce = self._nonce
+        # Local bindings and a length-prefix table keep the innermost
+        # loop to the irreducible hashlib calls per nonce.
+        prefix_copy = self._grind_prefix.copy
+        from_bytes = int.from_bytes
+        len4 = _LEN4
+        for _ in range(self.hash_rate):
+            # Inlined HashOracle.chunk(nonce).
+            encoded = b"i" + nonce.to_bytes(
+                (nonce.bit_length() + 8) // 8 + 1, "big", signed=True
+            )
+            hasher = prefix_copy()
+            hasher.update(len4[len(encoded)])
+            hasher.update(encoded)
+            digest = from_bytes(hasher.digest(), "big")
+            nonce += 1
+            if digest < target and (best is None or digest < best):
+                best = digest
+        self._nonce = nonce
         return best

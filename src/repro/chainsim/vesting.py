@@ -68,13 +68,8 @@ class VestingBlockchain(Blockchain):
 
     # -- block application ------------------------------------------------------
 
-    def append(self, block: Block) -> None:
-        """Apply a block, diverting its reward into the pending pot.
-
-        Transaction fees still pay out immediately (they move existing,
-        vested currency rather than minting new stake), matching the
-        paper's focus on withholding the *block subsidy*.
-        """
+    def _apply_vesting(self, block: Block, base_append) -> None:
+        """Divert the subsidy into the pending pot around ``base_append``."""
         reward = block.reward
         if reward > 0.0:
             # Re-create the block with zero subsidy for the base-class
@@ -88,13 +83,28 @@ class VestingBlockchain(Blockchain):
                 reward=0.0,
                 transactions=block.transactions,
             )
-            super().append(stripped)
+            base_append(stripped)
             self._pending[block.proposer] = (
                 self._pending.get(block.proposer, 0.0) + reward
             )
         else:
-            super().append(block)
+            base_append(block)
         self.maybe_vest()
+
+    def append(self, block: Block) -> None:
+        """Apply a block, diverting its reward into the pending pot.
+
+        Transaction fees still pay out immediately (they move existing,
+        vested currency rather than minting new stake), matching the
+        paper's focus on withholding the *block subsidy*.
+        """
+        self._apply_vesting(block, super().append)
+
+    def append_trusted(self, block: Block) -> None:
+        """Trusted-path twin of :meth:`append`: same subsidy diversion
+        and vesting check, minus the validation the fast engines make
+        redundant."""
+        self._apply_vesting(block, super().append_trusted)
 
     def maybe_vest(self) -> bool:
         """Fold pending rewards into balances at period boundaries.

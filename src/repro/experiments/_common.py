@@ -19,9 +19,12 @@ from ..sim.rng import RandomSource
 __all__ = [
     "PAPER_PROTOCOL_ORDER",
     "GridCell",
+    "SystemGridCell",
     "build_protocol",
     "run_simulation",
     "run_simulation_grid",
+    "run_system",
+    "run_system_grid",
 ]
 
 #: The order in which the paper presents the four protocols.
@@ -123,3 +126,83 @@ def run_simulation(
     """
     cell = GridCell(protocol, allocation, horizon, trials, checkpoints)
     return run_simulation_grid([cell], source)[0]
+
+
+@dataclass(frozen=True)
+class SystemGridCell:
+    """One node-level system configuration in an experiment grid.
+
+    ``experiment`` is a
+    :class:`~repro.chainsim.harness.SystemExperiment`; ``rounds`` and
+    ``repeats`` mirror its ``run`` arguments.
+    """
+
+    experiment: "object"
+    rounds: int
+    repeats: int
+    checkpoints: Optional[Sequence[int]] = None
+
+
+def run_system_grid(
+    cells: Sequence[SystemGridCell], source: RandomSource
+) -> List[EnsembleResult]:
+    """Run a grid of node-level system configurations on child streams.
+
+    The :class:`SystemGridCell` counterpart of
+    :func:`run_simulation_grid`: one child stream of ``source`` is
+    consumed per cell, in cell order — exactly like a loop of
+    ``cell.experiment.run(...)`` calls, so results are bit-identical to
+    the per-cell path.  When an ambient
+    :class:`~repro.runtime.ParallelRunner` is configured
+    (``--workers``/``--cache``), every uncached shard of every cell —
+    e.g. all four protocols of Figure 2's system sweep — goes to the
+    pool in a *single* :meth:`~repro.runtime.ParallelRunner.run_system_many`
+    dispatch under the grid-wide shard progress line; otherwise cells
+    run serially in-process.
+    """
+    from ..runtime.context import get_default_runtime
+    from ..runtime.spec import SystemSpec
+
+    cells = list(cells)
+    seeds = [source.spawn_one() for _ in cells]
+    runtime = get_default_runtime()
+    if runtime is not None:
+        specs = [
+            SystemSpec(
+                experiment=cell.experiment,
+                rounds=cell.rounds,
+                repeats=cell.repeats,
+                checkpoints=(
+                    None
+                    if cell.checkpoints is None
+                    else tuple(cell.checkpoints)
+                ),
+                seed=seed,
+            )
+            for cell, seed in zip(cells, seeds)
+        ]
+        return runtime.run_system_many(specs)
+    return [
+        cell.experiment.run(
+            cell.rounds,
+            cell.repeats,
+            checkpoints=cell.checkpoints,
+            seed=seed,
+        )
+        for cell, seed in zip(cells, seeds)
+    ]
+
+
+def run_system(
+    experiment: "object",
+    rounds: int,
+    repeats: int,
+    source: RandomSource,
+    checkpoints: Optional[Sequence[int]] = None,
+) -> EnsembleResult:
+    """Run one system configuration on a child random stream.
+
+    The single-cell case of :func:`run_system_grid`.
+    """
+    cell = SystemGridCell(experiment, rounds, repeats, checkpoints)
+    return run_system_grid([cell], source)[0]

@@ -28,8 +28,10 @@ from ..sim.rng import RandomSource
 from ._common import (
     PAPER_PROTOCOL_ORDER,
     GridCell,
+    SystemGridCell,
     build_protocol,
     run_simulation_grid,
+    run_system_grid,
 )
 from .config import DEFAULT, Preset
 from .report import render_table, subsample_rows
@@ -146,19 +148,32 @@ def run(config: Figure2Config = Figure2Config()) -> Figure2Result:
 
     system: Dict[str, SeriesSummary] = {}
     if preset.include_system:
-        for name in PAPER_PROTOCOL_ORDER:
-            repeats = (
-                preset.system_repeats_pow if name == "PoW" else preset.system_repeats_pos
+        # One grid over all four protocols: with an ambient runtime the
+        # whole system sweep shares a single pool dispatch instead of
+        # one per protocol.
+        system_cells = [
+            SystemGridCell(
+                SystemExperiment(
+                    _SYSTEM_KEYS[name],
+                    allocation,
+                    reward=config.reward,
+                    inflation_reward=config.inflation,
+                    shards=config.shards,
+                ),
+                rounds=preset.horizon(_SYSTEM_ROUNDS[name]),
+                repeats=(
+                    preset.system_repeats_pow
+                    if name == "PoW"
+                    else preset.system_repeats_pos
+                ),
             )
-            rounds = preset.horizon(_SYSTEM_ROUNDS[name])
-            experiment = SystemExperiment(
-                _SYSTEM_KEYS[name],
-                allocation,
-                reward=config.reward,
-                inflation_reward=config.inflation,
-                shards=config.shards,
+            for name in PAPER_PROTOCOL_ORDER
+        ]
+        system = {
+            name: result.summary(epsilon=config.epsilon)
+            for name, result in zip(
+                PAPER_PROTOCOL_ORDER, run_system_grid(system_cells, source)
             )
-            result = experiment.run(rounds, repeats, seed=source.spawn_one())
-            system[name] = result.summary(epsilon=config.epsilon)
+        }
 
     return Figure2Result(config=config, simulation=simulation, system=system)

@@ -26,7 +26,7 @@ from ..chainsim.harness import SystemExperiment
 from ..protocols.fsl_pos import FairSingleLotteryPoS
 from ..protocols.withholding import RewardWithholding
 from ..sim.rng import RandomSource
-from ._common import run_simulation
+from ._common import SystemGridCell, run_simulation, run_system_grid
 from .config import DEFAULT, Preset
 from .report import render_table, subsample_rows
 
@@ -128,23 +128,28 @@ def run(config: Figure6Config = Figure6Config()) -> Figure6Result:
     system_fsl = None
     system_withholding = None
     if preset.include_system:
+        # Both panels' node-level runs form one grid: a single pool
+        # dispatch covers them when an ambient runtime is configured.
         rounds = preset.horizon(1500)
-        experiment = SystemExperiment(
-            "fsl-pos", allocation, reward=config.reward
-        )
-        system = experiment.run(
-            rounds, preset.system_repeats_pos, seed=source.spawn_one()
-        )
+        system_cells = [
+            SystemGridCell(
+                SystemExperiment("fsl-pos", allocation, reward=config.reward),
+                rounds=rounds,
+                repeats=preset.system_repeats_pos,
+            ),
+            SystemGridCell(
+                SystemExperiment(
+                    "fsl-pos-withhold",
+                    allocation,
+                    reward=config.reward,
+                    vesting_period=max(2, min(vesting, rounds)),
+                ),
+                rounds=rounds,
+                repeats=preset.system_repeats_pos,
+            ),
+        ]
+        system, withhold_system = run_system_grid(system_cells, source)
         system_fsl = system.summary(epsilon=config.epsilon)
-        withhold_experiment = SystemExperiment(
-            "fsl-pos-withhold",
-            allocation,
-            reward=config.reward,
-            vesting_period=max(2, min(vesting, rounds)),
-        )
-        withhold_system = withhold_experiment.run(
-            rounds, preset.system_repeats_pos, seed=source.spawn_one()
-        )
         system_withholding = withhold_system.summary(epsilon=config.epsilon)
 
     return Figure6Result(

@@ -81,6 +81,14 @@ def build_parser() -> argparse.ArgumentParser:
         "spec load instead of simulating",
     )
     parser.add_argument(
+        "--cache-budget",
+        default=None,
+        metavar="BYTES",
+        help="size budget for --cache (accepts K/M/G suffixes, e.g. "
+        "500M); least-recently-used artifacts are evicted once a "
+        "write exceeds it",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=list(EXECUTOR_BACKENDS),
@@ -128,10 +136,34 @@ class _ShardProgress:
         self.stream.flush()
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (base 1024)."""
+    scales = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    cleaned = text.strip().upper()
+    if cleaned.endswith("B"):
+        cleaned = cleaned[:-1]
+    scale = 1
+    if cleaned and cleaned[-1] in scales:
+        scale = scales[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(cleaned)
+    except ValueError:
+        raise SystemExit(
+            f"--cache-budget expects an integer with optional K/M/G "
+            f"suffix, got {text!r}"
+        ) from None
+    if value <= 0:
+        raise SystemExit(f"--cache-budget must be positive, got {text!r}")
+    return value * scale
+
+
 def _build_runtime(args) -> Optional[ParallelRunner]:
     """The ParallelRunner the CLI flags ask for, or None for the old path."""
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.cache_budget is not None and args.cache is None:
+        raise SystemExit("--cache-budget requires --cache")
     if args.workers == 1 and args.cache is None:
         if args.backend is not None:
             # Mirror MiningGame.simulate: raise rather than silently
@@ -140,10 +172,15 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
                 "--backend requires --workers > 1 or --cache"
             )
         return None
+    cache = args.cache
+    if cache is not None and args.cache_budget is not None:
+        from ..runtime import ResultCache
+
+        cache = ResultCache(cache, max_bytes=_parse_bytes(args.cache_budget))
     try:
         return ParallelRunner(
             workers=args.workers,
-            cache=args.cache,
+            cache=cache,
             backend=args.backend or "processes",
             progress=_ShardProgress(),
         )

@@ -10,7 +10,10 @@ load.
 
 Corrupt or truncated entries (e.g. a previous run killed mid-write)
 are treated as misses and evicted; writes go through a temp file and
-an atomic rename so readers never observe partial artifacts.
+an atomic rename so readers never observe partial artifacts.  An
+optional ``max_bytes`` budget bounds the directory: once a write
+pushes the stored artifacts over it, least-recently-used entries are
+evicted (and counted in :meth:`ResultCache.stats`).
 """
 
 from __future__ import annotations
@@ -36,6 +39,14 @@ class ResultCache:
     ----------
     directory:
         Cache root; created on first use.
+    max_bytes:
+        Optional size budget for the stored artifacts.  When a
+        :meth:`put` pushes the total artifact size above the budget,
+        the least-recently-used entries (hits refresh recency) are
+        evicted until the cache fits again — the entry just written is
+        never evicted, so a single oversized result still lands and
+        simply has the cache to itself.  ``None`` (default) means
+        unbounded.
 
     Examples
     --------
@@ -53,14 +64,25 @@ class ResultCache:
     1
     """
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(
+        self, directory: PathLike, *, max_bytes: Optional[int] = None
+    ) -> None:
         self.directory = pathlib.Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
             raise ValueError(
                 f"cache path {str(self.directory)!r} exists and is not a directory"
             )
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Approximate occupancy for budgeted caches: initialized by one
+        # directory scan, then advanced by put sizes so the common
+        # under-budget put stays O(1).  Every over-budget rescan (and
+        # any concurrent writer's evictions it observes) re-syncs it.
+        self._approx_bytes: Optional[int] = None
         # Counter updates must be atomic: a thread-backend run hits
         # get/put from every pool thread at once.
         self._stats_lock = threading.Lock()
@@ -90,6 +112,14 @@ class ResultCache:
             path.unlink(missing_ok=True)
             self._count("misses")
             return None
+        if self.max_bytes is not None:
+            try:
+                # Refresh recency so the LRU eviction order tracks use,
+                # not just creation.  Unbounded caches never consult
+                # recency, so their artifact mtimes are left alone.
+                os.utime(path, None)
+            except OSError:
+                pass
         self._count("hits")
         return result
 
@@ -116,8 +146,99 @@ class ResultCache:
             f"-{uuid.uuid4().hex[:8]}.npz"
         )
         written = save_result(result, temporary)
+        replaced = 0
+        if self.max_bytes is not None:
+            try:
+                # Same-key overwrite: the bytes being replaced leave the
+                # directory with the rename and must not stay counted.
+                replaced = path.stat().st_size
+            except OSError:
+                replaced = 0
         os.replace(written, path)
+        if self.max_bytes is not None:
+            try:
+                added = path.stat().st_size - replaced
+            except OSError:
+                added = 0
+            with self._stats_lock:
+                if self._approx_bytes is None:
+                    self._approx_bytes = self._scan_bytes()
+                else:
+                    self._approx_bytes += added
+                over_budget = self._approx_bytes > self.max_bytes
+            if over_budget:
+                self._evict_over_budget(keep=path)
         return path
+
+    def _scan_bytes(self) -> int:
+        total = 0
+        for path in self.directory.glob("*.npz"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _evict_over_budget(self, keep: pathlib.Path) -> None:
+        """Delete least-recently-used artifacts until the budget fits.
+
+        ``keep`` (the entry just written) is exempt so a put can never
+        evict its own result.  Concurrent writers may race over the
+        same entries; every stat/unlink tolerates a file that another
+        writer already removed.
+        """
+        entries = []
+        for path in self.directory.glob("*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        if total > self.max_bytes:
+            entries.sort(key=lambda entry: entry[0])
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                if path == keep:
+                    continue
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    # A concurrent writer already evicted it; the bytes
+                    # are gone either way, so count them as freed or
+                    # this writer would over-evict live entries.
+                    total -= size
+                    continue
+                except OSError:
+                    continue
+                total -= size
+                self._count("evictions")
+        with self._stats_lock:
+            # The scan is ground truth; re-sync the running estimate.
+            self._approx_bytes = total
+
+    def stats(self) -> dict:
+        """Counters and occupancy: hits, misses, evictions, entries, bytes."""
+        with self._stats_lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
+        entries = 0
+        total = 0
+        if self.directory.exists():
+            for path in self.directory.glob("*.npz"):
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "entries": entries,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+        }
 
     def clear(self) -> int:
         """Delete every artifact (and staging leftovers); returns the
@@ -130,6 +251,8 @@ class ResultCache:
             for path in self.directory.glob(".tmp/*.npz"):
                 path.unlink()
                 removed += 1
+        with self._stats_lock:
+            self._approx_bytes = 0
         return removed
 
     def __len__(self) -> int:
@@ -138,7 +261,9 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.npz"))
 
     def __repr__(self) -> str:
+        budget = "" if self.max_bytes is None else f", max_bytes={self.max_bytes}"
         return (
             f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}{budget})"
         )

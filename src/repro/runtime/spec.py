@@ -195,11 +195,19 @@ def _canonical(value: Any) -> Any:
         return {str(k): _canonical(v) for k, v in sorted(value.items())}
     if hasattr(value, "__dict__"):
         # Protocols, SystemExperiments, and other parameter objects:
-        # type name plus their constructor-set attributes.
+        # type name plus their constructor-set attributes.  A class may
+        # name attributes that must stay outside the content address in
+        # ``_fingerprint_exclude_`` — knobs like SystemExperiment.fast
+        # that select between bit-identical execution paths, so one
+        # cached artifact correctly answers every setting (the exact
+        # role SimulationSpec.kernel plays for Monte Carlo specs).
+        exclude = getattr(type(value), "_fingerprint_exclude_", frozenset())
         return {
             "type": type(value).__name__,
             "params": {
-                k: _canonical(v) for k, v in sorted(vars(value).items())
+                k: _canonical(v)
+                for k, v in sorted(vars(value).items())
+                if k not in exclude
             },
         }
     raise TypeError(f"cannot canonicalise {type(value).__name__} for fingerprinting")

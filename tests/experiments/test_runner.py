@@ -60,3 +60,44 @@ class TestCLI:
         assert main(["fig6", "--preset", "ci", "--no-system", "--seed", "3"]) == 0
         output = capsys.readouterr().out
         assert "node-level" not in output
+
+    def test_cache_budget_requires_cache(self):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(["fig1", "--preset", "ci", "--cache-budget", "1M"])
+
+    def test_cache_budget_rejects_garbage(self, tmp_path):
+        with pytest.raises(SystemExit, match="cache-budget"):
+            main([
+                "fig1", "--preset", "ci",
+                "--cache", str(tmp_path), "--cache-budget", "lots",
+            ])
+
+    def test_cache_budget_parses_suffixes(self):
+        from repro.experiments.runner import _parse_bytes
+
+        assert _parse_bytes("1024") == 1024
+        assert _parse_bytes("2K") == 2048
+        assert _parse_bytes("3MB") == 3 * (1 << 20)
+        assert _parse_bytes("1g") == 1 << 30
+
+    def test_cache_budget_rejects_non_positive(self, tmp_path):
+        # A clean usage error, not a ResultCache traceback.
+        for bad in ("--cache-budget=0", "--cache-budget=-5K"):
+            with pytest.raises(SystemExit, match="must be positive"):
+                main(["fig1", "--preset", "ci", "--cache", str(tmp_path), bad])
+
+    def test_cache_budget_flows_into_runtime_cache(self, tmp_path, capsys):
+        from repro.experiments.runner import _build_runtime
+
+        args = build_parser().parse_args([
+            "fig1", "--preset", "ci",
+            "--cache", str(tmp_path / "cache"), "--cache-budget", "64M",
+        ])
+        runtime = _build_runtime(args)
+        assert runtime.cache.max_bytes == 64 << 20
+        code = main([
+            "fig1", "--preset", "ci",
+            "--cache", str(tmp_path / "cache"), "--cache-budget", "64M",
+        ])
+        assert code == 0
+        capsys.readouterr()

@@ -108,6 +108,89 @@ class TestRobustness:
         assert cache.directory.exists()
 
 
+class TestBudget:
+    """max_bytes LRU eviction."""
+
+    def artifact_size(self, tmp_path, result):
+        probe = ResultCache(tmp_path / "probe")
+        path = probe.put("f" * 64, result)
+        return path.stat().st_size
+
+    def budget_cache(self, tmp_path, result, entries):
+        size = self.artifact_size(tmp_path, result)
+        return ResultCache(
+            tmp_path / "cache", max_bytes=int(size * entries + size / 2)
+        )
+
+    def test_rejects_non_positive_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_put_over_budget_evicts_oldest(self, cache_keys, tmp_path, result):
+        import os, time
+
+        cache = self.budget_cache(tmp_path, result, entries=2)
+        base = time.time()
+        first = cache.put(cache_keys[0], result)
+        second = cache.put(cache_keys[1], result)
+        # Distinct, past mtimes so the LRU order is unambiguous on
+        # coarse-timestamp filesystems.
+        os.utime(first, (base - 60, base - 60))
+        os.utime(second, (base - 30, base - 30))
+        cache.put(cache_keys[2], result)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(cache_keys[0]) is None  # the oldest went
+        assert cache.get(cache_keys[2]) is not None
+
+    def test_hit_refreshes_recency(self, cache_keys, tmp_path, result):
+        import os, time
+
+        cache = self.budget_cache(tmp_path, result, entries=2)
+        base = time.time()
+        first = cache.put(cache_keys[0], result)
+        os.utime(first, (base - 60, base - 60))
+        second = cache.put(cache_keys[1], result)
+        os.utime(second, (base - 30, base - 30))
+        assert cache.get(cache_keys[0]) is not None  # refresh entry 0
+        cache.put(cache_keys[2], result)
+        # Entry 1 is now the least recently used and must be the one
+        # evicted; the refreshed entry 0 survives.
+        assert cache.get(cache_keys[1]) is None
+        assert cache.get(cache_keys[0]) is not None
+
+    def test_current_put_never_self_evicts(self, tmp_path, result):
+        size = self.artifact_size(tmp_path, result)
+        cache = ResultCache(tmp_path / "cache", max_bytes=max(1, size // 2))
+        cache.put("b" * 64, result)
+        assert len(cache) == 1
+        assert cache.get("b" * 64) is not None
+
+    def test_stats_reports_counters_and_occupancy(self, cache, result):
+        stats = cache.stats()
+        assert stats["entries"] == 0 and stats["evictions"] == 0
+        cache.put(KEY, result)
+        cache.get(KEY)
+        cache.get("c" * 64)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["max_bytes"] is None
+
+    def test_unbounded_cache_never_evicts(self, cache, cache_keys, result):
+        for key in cache_keys:
+            cache.put(key, result)
+        assert len(cache) == len(cache_keys)
+        assert cache.evictions == 0
+
+
+@pytest.fixture
+def cache_keys():
+    return ["1" * 64, "2" * 64, "3" * 64, "4" * 64]
+
+
 class TestConcurrency:
     def test_concurrent_puts_of_same_key_never_corrupt(self, cache, result):
         # Regression: the staging name used to be {key}-{pid}.npz —

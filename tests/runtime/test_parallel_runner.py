@@ -337,6 +337,116 @@ class TestRunSystem:
             routed.reward_fractions, direct.reward_fractions
         )
 
+    def test_explicit_shards_clamp_like_simulation_specs(self, tmp_path, two_miners):
+        # shards=16 on a 4-repeat system spec must clamp to 4 — same
+        # rule and same cache-entry sharing as simulation specs.
+        experiment = SystemExperiment("ml-pos", two_miners)
+        cache = tmp_path / "cache"
+        runner = ParallelRunner(cache=cache)
+        clamped = runner.run_system(experiment, 30, 4, seed=9, shards=16)
+        exact = runner.run_system(experiment, 30, 4, seed=9, shards=4)
+        np.testing.assert_array_equal(
+            clamped.reward_fractions, exact.reward_fractions
+        )
+        assert runner.cache.hits == 1
+        assert len(runner.cache) == 1
+
+    def test_repeats_validated_identically_with_and_without_runtime(
+        self, two_miners
+    ):
+        experiment = SystemExperiment("ml-pos", two_miners)
+        with pytest.raises(ValueError, match="repeats"):
+            experiment.run(10, repeats=0)
+        with using_runtime(ParallelRunner(workers=1)):
+            with pytest.raises(ValueError, match="repeats"):
+                experiment.run(10, repeats=0)
+
+
+class TestRunSystemMany:
+    def grid(self, two_miners, seed=17):
+        from repro.runtime import SystemSpec
+
+        protocols = ("ml-pos", "sl-pos", "fsl-pos")
+        return [
+            SystemSpec(
+                experiment=SystemExperiment(protocol, two_miners),
+                rounds=30,
+                repeats=4,
+                seed=seed + index,
+            )
+            for index, protocol in enumerate(protocols)
+        ]
+
+    @pytest.mark.parametrize("workers,backend", [
+        (1, "processes"), (2, "threads"), (2, "processes"),
+    ])
+    def test_mixed_cached_uncached_grid(
+        self, tmp_path, two_miners, workers, backend
+    ):
+        # Warm exactly one cell, then run the whole grid: the warm cell
+        # must load, the cold cells compute, and every result must be
+        # bit-identical to the per-spec path — on every backend.
+        specs = self.grid(two_miners)
+        reference = [
+            ParallelRunner(workers=1).run_system(
+                spec.experiment, spec.rounds, spec.repeats, seed=spec.seed,
+                shards=2,
+            )
+            for spec in specs
+        ]
+        cache = tmp_path / f"cache-{workers}-{backend}"
+        ParallelRunner(workers=1, cache=cache).run_system_many(
+            [specs[1]], shards=2
+        )
+        runner = ParallelRunner(workers=workers, cache=cache, backend=backend)
+        batched = runner.run_system_many(specs, shards=2)
+        assert runner.cache.hits == 1
+        assert runner.cache.misses == 2
+        for expected, actual in zip(reference, batched):
+            np.testing.assert_array_equal(
+                expected.reward_fractions, actual.reward_fractions
+            )
+            np.testing.assert_array_equal(
+                expected.terminal_stakes, actual.terminal_stakes
+            )
+
+    def test_batched_matches_per_spec_without_cache(self, two_miners):
+        specs = self.grid(two_miners, seed=23)
+        runner = ParallelRunner(workers=1)
+        per_spec = [
+            runner.run_system(
+                spec.experiment, spec.rounds, spec.repeats, seed=spec.seed,
+                shards=2,
+            )
+            for spec in specs
+        ]
+        batched = ParallelRunner(workers=1).run_system_many(specs, shards=2)
+        for expected, actual in zip(per_spec, batched):
+            np.testing.assert_array_equal(
+                expected.reward_fractions, actual.reward_fractions
+            )
+
+    def test_fast_and_naive_specs_share_cache_entries(
+        self, tmp_path, two_miners
+    ):
+        from repro.runtime import SystemSpec
+
+        runner = ParallelRunner(workers=1, cache=tmp_path / "cache")
+        naive_spec = SystemSpec(
+            experiment=SystemExperiment("ml-pos", two_miners, fast=False),
+            rounds=30, repeats=3, seed=5,
+        )
+        fast_spec = SystemSpec(
+            experiment=SystemExperiment("ml-pos", two_miners, fast=True),
+            rounds=30, repeats=3, seed=5,
+        )
+        cold = runner.run_system_many([naive_spec], shards=2)[0]
+        warm = runner.run_system_many([fast_spec], shards=2)[0]
+        assert runner.cache.hits == 1
+        np.testing.assert_array_equal(
+            cold.reward_fractions, warm.reward_fractions
+        )
+
 
 class TestCacheIntegration:
     def test_second_run_is_a_cache_hit(self, tmp_path):

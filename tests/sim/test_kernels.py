@@ -127,6 +127,21 @@ class TestDifferentialGolden:
             naive.terminal_stakes, batched.terminal_stakes
         )
 
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    @pytest.mark.parametrize(
+        "name", ["ml-pos", "sl-pos", "fsl-pos", "filecoin", "withhold-ml"]
+    )
+    def test_bit_identical_at_ten_miners(self, name, scenario):
+        """The 10-miner grids drive the transposed scatter-credit
+        many-miner paths (miners > 2) the two-miner sweep never hits."""
+        naive, batched = run_pair(PROTOCOL_FACTORIES[name], 10, scenario)
+        np.testing.assert_array_equal(
+            naive.reward_fractions, batched.reward_fractions
+        )
+        np.testing.assert_array_equal(
+            naive.terminal_stakes, batched.terminal_stakes
+        )
+
     @pytest.mark.parametrize("name", ["ml-pos", "sl-pos", "c-pos-block"])
     def test_generator_position_identical(self, name):
         # Both paths must consume the stream identically, so a draw

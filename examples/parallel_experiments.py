@@ -1,6 +1,6 @@
 """Parallel + cached experiments with ``repro.runtime``.
 
-Demonstrates the six ways to use the runtime layer:
+Demonstrates the seven ways to use the runtime layer:
 
 1. the high-level :class:`MiningGame` knobs (``workers=``, ``cache=``),
 2. an explicit :class:`ParallelRunner` over a :class:`SimulationSpec`
@@ -23,7 +23,14 @@ Demonstrates the six ways to use the runtime layer:
 6. the node-level system path: a whole system sweep batched through
    ``run_system_many`` in one dispatch, and the networks' vectorized
    hot loop with its ``fast=False`` escape hatch (the system-side
-   analogue of ``kernel="naive"`` — bit-identical either way).
+   analogue of ``kernel="naive"`` — bit-identical either way),
+
+7. the streaming shard merge (``stream=True``, the default, the CLI's
+   ``--stream``/``--no-stream``): shard results fold into the merged
+   ensemble as they complete instead of piling up for a terminal
+   merge, so a 100k-trial run peaks near ONE merged ensemble in
+   memory instead of two — bit-identical to the batch path, same
+   cache artifacts.
 
 How the knobs compose: the kernel attacks per-round *depth*, workers
 attack ensemble *breadth*.  Start with ``workers=1`` + the default
@@ -195,6 +202,36 @@ def main() -> None:
     print(f"sl-pos system loop: fast=False {naive_s:.2f}s vs fast=True "
           f"{fast_s:.2f}s ({naive_s / fast_s:.1f}x), "
           f"bit-identical = {identical}")
+
+    # 7. Streaming merge on a large ensemble: the batch path holds
+    #    every shard result AND the concatenated ensemble at its peak;
+    #    streaming preallocates the merged arrays once and folds each
+    #    shard as it completes (out-of-order completions wait in a
+    #    bounded reorder buffer), so peak memory stays near one merged
+    #    ensemble no matter how many shards the run splits into.  This
+    #    is what `repro-experiments fig3 --workers 4 --stream` does —
+    #    streaming is the default; `--no-stream` restores the old path.
+    import tracemalloc
+
+    big = SimulationSpec(
+        protocol=MultiLotteryPoS(reward=0.01),
+        allocation=allocation,
+        trials=100_000,
+        horizon=200,
+        checkpoints=tuple(range(20, 220, 20)),
+        seed=2021,
+    )
+    peaks = {}
+    for label, stream in (("batch", False), ("stream", True)):
+        tracemalloc.start()
+        result = ParallelRunner(workers=1, stream=stream).run(big, shards=32)
+        _, peaks[label] = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    print(f"100k-trial ensemble, 32 shards: batch peak "
+          f"{peaks['batch'] / 1e6:.0f} MB vs streaming peak "
+          f"{peaks['stream'] / 1e6:.0f} MB "
+          f"({peaks['stream'] / peaks['batch']:.2f}x, same bits, "
+          f"{result.trials} trials)")
 
 
 if __name__ == "__main__":

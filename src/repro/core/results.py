@@ -31,7 +31,7 @@ from .metrics import (
 )
 from .miners import Allocation
 
-__all__ = ["EnsembleResult", "SeriesSummary"]
+__all__ = ["EnsembleResult", "MergeAccumulator", "SeriesSummary"]
 
 
 @dataclass(frozen=True)
@@ -146,6 +146,54 @@ class EnsembleResult:
     # -- construction -----------------------------------------------------
 
     @classmethod
+    def _from_validated(
+        cls,
+        protocol_name: str,
+        allocation: Allocation,
+        checkpoints: Sequence[int],
+        reward_fractions: np.ndarray,
+        terminal_stakes: Optional[np.ndarray],
+        round_unit: str,
+    ) -> "EnsembleResult":
+        """Adopt already-validated arrays without the constructor's copies.
+
+        The public constructor re-clips ``reward_fractions`` into a
+        fresh array — pure waste (and a transient 2x memory peak) when
+        every value was copied out of EnsembleResults that were
+        validated and clipped at their own construction.  Callers must
+        guarantee exactly that invariant; :class:`MergeAccumulator`
+        does, which is what keeps the streaming merge's peak at one
+        merged ensemble.
+        """
+        result = cls.__new__(cls)
+        result.protocol_name = str(protocol_name)
+        result.allocation = allocation
+        result.checkpoints = np.asarray(list(checkpoints), dtype=int)
+        result.reward_fractions = reward_fractions
+        result.terminal_stakes = terminal_stakes
+        result.round_unit = round_unit
+        return result
+
+    @staticmethod
+    def _ensure_mergeable(first: "EnsembleResult", part: "EnsembleResult") -> None:
+        """Raise unless ``part`` describes the same game as ``first``."""
+        if part.protocol_name != first.protocol_name:
+            raise ValueError(
+                f"cannot merge results of different protocols: "
+                f"{first.protocol_name!r} vs {part.protocol_name!r}"
+            )
+        if part.allocation != first.allocation:
+            raise ValueError("cannot merge results of different allocations")
+        if not np.array_equal(part.checkpoints, first.checkpoints):
+            raise ValueError("cannot merge results of different checkpoints")
+        if part.round_unit != first.round_unit:
+            raise ValueError("cannot merge results of different round units")
+        if (part.terminal_stakes is None) != (first.terminal_stakes is None):
+            raise ValueError(
+                "cannot merge results that disagree on terminal stake recording"
+            )
+
+    @classmethod
     def merge(cls, results: Sequence["EnsembleResult"]) -> "EnsembleResult":
         """Concatenate shard results into one ensemble, in the given order.
 
@@ -155,31 +203,21 @@ class EnsembleResult:
         along axis 0, so merging is exact — the merged ensemble is
         bit-identical no matter how the parts were distributed across
         workers, as long as their order is fixed.
+
+        Holds every part alive plus the concatenated output (~2x the
+        merged footprint); :class:`MergeAccumulator` produces the same
+        bytes while holding only the output and one part at a time.
         """
         parts = list(results)
         if not parts:
             raise ValueError("cannot merge an empty sequence of results")
         first = parts[0]
         for part in parts[1:]:
-            if part.protocol_name != first.protocol_name:
-                raise ValueError(
-                    f"cannot merge results of different protocols: "
-                    f"{first.protocol_name!r} vs {part.protocol_name!r}"
-                )
-            if part.allocation != first.allocation:
-                raise ValueError("cannot merge results of different allocations")
-            if not np.array_equal(part.checkpoints, first.checkpoints):
-                raise ValueError("cannot merge results of different checkpoints")
-            if part.round_unit != first.round_unit:
-                raise ValueError("cannot merge results of different round units")
-        recorded = [part.terminal_stakes is not None for part in parts]
-        if any(recorded) and not all(recorded):
-            raise ValueError(
-                "cannot merge results that disagree on terminal stake recording"
-            )
+            cls._ensure_mergeable(first, part)
+        recorded = all(part.terminal_stakes is not None for part in parts)
         terminal = (
             np.concatenate([part.terminal_stakes for part in parts], axis=0)
-            if all(recorded)
+            if recorded
             else None
         )
         return cls(
@@ -192,6 +230,17 @@ class EnsembleResult:
             terminal_stakes=terminal,
             round_unit=first.round_unit,
         )
+
+    def merge_into(self, accumulator: "MergeAccumulator") -> "MergeAccumulator":
+        """Fold this result into ``accumulator``; returns the accumulator.
+
+        ``acc = part.merge_into(acc)`` is the streaming spelling of
+        ``EnsembleResult.merge([... , part])`` — feed parts in plan
+        order and the accumulator's final result is byte-identical to
+        the batch merge of the same sequence.
+        """
+        accumulator.add(self)
+        return accumulator
 
     # -- basic accessors --------------------------------------------------
 
@@ -321,4 +370,174 @@ class EnsembleResult:
         return (
             f"EnsembleResult({self.protocol_name!r}, trials={self.trials}, "
             f"miners={self.miners}, horizon={self.horizon} {self.round_unit}s)"
+        )
+
+
+@dataclass(frozen=True)
+class _MergeTemplate:
+    """The first part's game metadata, without its trial arrays.
+
+    Duck-types as the ``first`` argument of
+    :meth:`EnsembleResult._ensure_mergeable` (which only inspects
+    metadata and whether ``terminal_stakes`` is None), so an
+    accumulator can validate later parts without keeping the first
+    part's — potentially large — arrays alive.
+    """
+
+    protocol_name: str
+    allocation: Allocation
+    checkpoints: np.ndarray
+    round_unit: str
+    terminal_stakes: Optional[bool]  # truthy marker, never the array
+    miners: int
+
+
+class MergeAccumulator:
+    """Incremental, bounded-memory equivalent of :meth:`EnsembleResult.merge`.
+
+    Feed shard results in plan order through :meth:`add` (or
+    :meth:`EnsembleResult.merge_into`); :meth:`result` returns the
+    merged ensemble.  The folded output is **byte-identical** to
+    ``EnsembleResult.merge(parts)`` for the same part order — the
+    accumulator simply writes each part's trials into their final
+    position as they arrive instead of holding every part alive until a
+    terminal concatenate.
+
+    Parameters
+    ----------
+    expected_trials:
+        Total trial count of the finished ensemble (the shard plan's
+        ``total``).  When given, the merged arrays are preallocated
+        once and each part is copied into place and can then be
+        released by the caller, so peak memory is one merged ensemble
+        plus a single in-flight part — this is what makes the runtime's
+        streaming merge O(workers) instead of O(shards) in working-set.
+        When None, parts are staged and folded by a terminal
+        :meth:`EnsembleResult.merge` (no memory bound, same bytes).
+
+    Examples
+    --------
+    >>> # doctest-style sketch; see tests/runtime/test_streaming_merge.py
+    >>> # acc = MergeAccumulator(expected_trials=plan.total)
+    >>> # for shard_result in shard_results:  # plan order
+    >>> #     acc.add(shard_result)
+    >>> # merged = acc.result()
+    """
+
+    def __init__(self, expected_trials: Optional[int] = None) -> None:
+        if expected_trials is not None and expected_trials <= 0:
+            raise ValueError(
+                f"expected_trials must be positive, got {expected_trials!r}"
+            )
+        self.expected_trials = expected_trials
+        # Metadata of the first part only — retaining the part itself
+        # would keep its trial arrays alive for the whole fold and
+        # break the one-in-flight-part memory bound.
+        self._template: Optional["_MergeTemplate"] = None
+        self._parts: list = []  # staging for the unbounded fallback
+        self._fractions: Optional[np.ndarray] = None
+        self._terminal: Optional[np.ndarray] = None
+        self._offset = 0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of parts folded so far."""
+        return self._count
+
+    @property
+    def trials(self) -> int:
+        """Number of trials folded so far."""
+        return self._offset
+
+    @property
+    def complete(self) -> bool:
+        """Whether the accumulated trials match ``expected_trials``."""
+        if self.expected_trials is None:
+            return self._count > 0
+        return self._offset == self.expected_trials
+
+    def add(self, part: EnsembleResult) -> "MergeAccumulator":
+        """Fold the next part, in plan order; returns self for chaining."""
+        if not isinstance(part, EnsembleResult):
+            raise TypeError(
+                f"can only accumulate EnsembleResults, got {type(part).__name__}"
+            )
+        if self._template is None:
+            self._template = _MergeTemplate(
+                protocol_name=part.protocol_name,
+                allocation=part.allocation,
+                checkpoints=part.checkpoints,
+                round_unit=part.round_unit,
+                terminal_stakes=True if part.terminal_stakes is not None else None,
+                miners=part.miners,
+            )
+        else:
+            EnsembleResult._ensure_mergeable(self._template, part)
+        if self.expected_trials is None:
+            self._parts.append(part)
+            self._offset += part.trials
+            self._count += 1
+            return self
+        if self._offset + part.trials > self.expected_trials:
+            raise ValueError(
+                f"accumulated {self._offset + part.trials} trials, more than "
+                f"the expected {self.expected_trials}"
+            )
+        if self._fractions is None:
+            self._fractions = np.empty(
+                (
+                    self.expected_trials,
+                    self._template.checkpoints.size,
+                    self._template.miners,
+                ),
+                dtype=float,
+            )
+            if self._template.terminal_stakes is not None:
+                self._terminal = np.empty(
+                    (self.expected_trials, self._template.miners), dtype=float
+                )
+        end = self._offset + part.trials
+        self._fractions[self._offset:end] = part.reward_fractions
+        if self._terminal is not None:
+            self._terminal[self._offset:end] = part.terminal_stakes
+        self._offset = end
+        self._count += 1
+        return self
+
+    def result(self) -> EnsembleResult:
+        """The merged ensemble; byte-identical to the batch merge.
+
+        Raises if nothing was folded, or if ``expected_trials`` was
+        given and the folded trials fall short of it.
+        """
+        if self._count == 0:
+            raise ValueError("cannot merge an empty sequence of results")
+        if self.expected_trials is None:
+            return EnsembleResult.merge(self._parts)
+        if self._offset != self.expected_trials:
+            raise ValueError(
+                f"accumulated {self._offset} of the expected "
+                f"{self.expected_trials} trials"
+            )
+        # Every block was copied out of a validated (clipped)
+        # EnsembleResult, so adopt the buffers instead of paying the
+        # public constructor's re-clip copy — that copy alone would
+        # put the peak back at two merged ensembles.
+        return EnsembleResult._from_validated(
+            protocol_name=self._template.protocol_name,
+            allocation=self._template.allocation,
+            checkpoints=self._template.checkpoints,
+            reward_fractions=self._fractions,
+            terminal_stakes=self._terminal,
+            round_unit=self._template.round_unit,
+        )
+
+    def __repr__(self) -> str:
+        expected = (
+            "?" if self.expected_trials is None else str(self.expected_trials)
+        )
+        return (
+            f"MergeAccumulator(parts={self._count}, "
+            f"trials={self._offset}/{expected})"
         )

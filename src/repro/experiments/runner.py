@@ -97,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
         "the batched NumPy kernels release the GIL.  Requires "
         "--workers > 1 or --cache",
     )
+    parser.add_argument(
+        "--stream",
+        dest="stream",
+        action="store_true",
+        default=None,
+        help="fold shard results as they complete (the default): peak "
+        "memory stays O(workers) shard results instead of O(shards), "
+        "bit-identical to the batch merge.  Requires --workers > 1 "
+        "or --cache",
+    )
+    parser.add_argument(
+        "--no-stream",
+        dest="stream",
+        action="store_false",
+        help="collect every shard result before merging (the "
+        "pre-streaming path; same bits, higher peak memory)",
+    )
     return parser
 
 
@@ -124,7 +141,10 @@ class _ShardProgress:
     A whole figure grid goes through a single pool dispatch, so the
     line counts shards across every cell of the grid; it is rewritten
     in place (carriage return) and finished with a newline when the
-    dispatch completes.
+    dispatch completes.  On the (default) streaming path the count is
+    of *merged* shards — the plan-order fold cursor — not dispatched
+    ones, so ``k`` can never overshoot ``N`` when a shard fails
+    mid-grid and the completed specs are salvaged.
     """
 
     def __init__(self, stream=None) -> None:
@@ -171,6 +191,10 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             raise SystemExit(
                 "--backend requires --workers > 1 or --cache"
             )
+        if args.stream is not None:
+            raise SystemExit(
+                "--stream/--no-stream requires --workers > 1 or --cache"
+            )
         return None
     cache = args.cache
     if cache is not None and args.cache_budget is not None:
@@ -183,6 +207,7 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             cache=cache,
             backend=args.backend or "processes",
             progress=_ShardProgress(),
+            stream=True if args.stream is None else args.stream,
         )
     except ValueError as error:
         raise SystemExit(str(error))

@@ -22,7 +22,12 @@ cache
     :class:`ResultCache` — content-addressed ``.npz`` storage layered
     on :mod:`repro.sim.persistence`.
 runner
-    :class:`ParallelRunner` — plan, fan out, merge, cache.
+    :class:`ParallelRunner` — plan, fan out, merge, cache.  Merging
+    streams by default: shard results fold into a
+    :class:`~repro.core.results.MergeAccumulator` in plan order as
+    they complete (out-of-order completions staged in a bounded
+    :class:`ReorderBuffer`), capping in-flight shard results at
+    ``O(workers)`` while staying bit-identical to the batch merge.
 context
     An ambient default runtime consulted by the experiment layer so
     ``--workers``/``--cache`` flags reach every figure without
@@ -40,7 +45,8 @@ from .executor import (
     ThreadExecutor,
     make_executor,
 )
-from .runner import ParallelRunner
+from ..core.results import MergeAccumulator
+from .runner import ParallelRunner, ReorderBuffer
 from .sharding import DEFAULT_SHARD_COUNT, Shard, ShardPlan, plan_shards, split_evenly
 from .spec import SimulationSpec, SystemSpec, spec_fingerprint
 
@@ -51,12 +57,14 @@ __all__ = [
     "using_runtime",
     "EXECUTOR_BACKENDS",
     "Executor",
+    "MergeAccumulator",
     "MultiprocessingExecutor",
     "SerialExecutor",
     "ShardExecutionError",
     "ThreadExecutor",
     "make_executor",
     "ParallelRunner",
+    "ReorderBuffer",
     "DEFAULT_SHARD_COUNT",
     "Shard",
     "ShardPlan",

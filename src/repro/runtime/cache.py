@@ -14,6 +14,11 @@ an atomic rename so readers never observe partial artifacts.  An
 optional ``max_bytes`` budget bounds the directory: once a write
 pushes the stored artifacts over it, least-recently-used entries are
 evicted (and counted in :meth:`ResultCache.stats`).
+
+Every operation is safe under concurrent readers and writers — the
+streaming merge path stores each spec's artifact *mid-dispatch* as its
+last shard folds, so on the threads backend puts, gets, and budget
+evictions may interleave freely.
 """
 
 from __future__ import annotations
@@ -109,7 +114,29 @@ class ResultCache:
         try:
             result = load_result(path)
         except Exception:
-            path.unlink(missing_ok=True)
+            removed = 0
+            if self.max_bytes is not None:
+                try:
+                    removed = path.stat().st_size
+                except OSError:
+                    removed = 0
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                # Another reader evicted it between stat and unlink and
+                # already deducted the bytes; deducting again would
+                # undercount occupancy.
+                removed = 0
+            except OSError:
+                removed = 0
+            if removed:
+                # Keep the running occupancy estimate honest: a corrupt
+                # artifact evicted here would otherwise stay counted
+                # until the next over-budget rescan and trigger
+                # premature LRU evictions of live entries.
+                with self._stats_lock:
+                    if self._approx_bytes is not None:
+                        self._approx_bytes = max(0, self._approx_bytes - removed)
             self._count("misses")
             return None
         if self.max_bytes is not None:

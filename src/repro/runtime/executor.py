@@ -7,6 +7,14 @@ than raised at first error: every shard runs (or is drained), then a
 single :class:`ShardExecutionError` reports all failing shards with
 their tracebacks.
 
+Each backend also offers :meth:`Executor.stream`: completions yielded
+as ``(task_index, ok, payload)`` the moment futures resolve, with a
+bounded submission window so at most ``O(workers)`` results exist
+between the pool and the consumer.  The runner's streaming merge folds
+these through a reorder buffer in plan order, which is how 100k-trial
+ensembles merge without ever materializing every shard result at once
+while staying bit-identical to the batch path.
+
 The multiprocessing backend prefers the ``fork`` start method where
 available (cheap on Linux, and shard tasks are read-only after fork)
 and falls back to ``spawn`` elsewhere, which is why task functions
@@ -22,9 +30,10 @@ would dominate; pure-Python-bound shards should stay on processes.
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import traceback
-from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from .._validation import ensure_positive_int
 
@@ -35,6 +44,7 @@ __all__ = [
     "MultiprocessingExecutor",
     "ThreadExecutor",
     "ShardExecutionError",
+    "StreamItem",
     "make_executor",
 ]
 
@@ -43,6 +53,11 @@ EXECUTOR_BACKENDS = ("processes", "threads")
 
 #: Progress callback signature: ``callback(completed, total)``.
 ProgressCallback = Callable[[int, int], None]
+
+#: One streamed completion: ``(task_index, ok, payload)`` where
+#: ``payload`` is the task's return value when ``ok`` and an
+#: ``(error_repr, traceback_text)`` pair otherwise.
+StreamItem = Tuple[int, bool, Any]
 
 
 class ShardExecutionError(RuntimeError):
@@ -56,7 +71,11 @@ class ShardExecutionError(RuntimeError):
         The drained per-task results, in task order, with None at the
         failed indices — so callers batching independent workloads can
         salvage the tasks that did complete (e.g. cache them) before
-        re-raising.
+        re-raising.  **May be None**: the streaming merge (the
+        runner's default) deliberately does not retain per-task
+        results — that retention is what streaming eliminates — and
+        instead salvages completed specs straight into the cache
+        before raising.  Callers must guard for both shapes.
     """
 
     def __init__(
@@ -75,6 +94,14 @@ class ShardExecutionError(RuntimeError):
         )
 
 
+def _format_exception(error: BaseException) -> str:
+    """Full traceback text for an exception object (transport failures
+    arrive as objects, not active exceptions, so format_exc() is out)."""
+    return "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+
+
 def _guarded_call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]:
     """Run one task, capturing any exception as data (workers can't raise
     rich tracebacks across process boundaries)."""
@@ -83,6 +110,18 @@ def _guarded_call(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[bool, Any]
         return True, fn(task)
     except Exception as error:  # noqa: BLE001 - aggregated and re-raised
         return False, (repr(error), traceback.format_exc())
+
+
+def _resolve_window(window: Optional[int], pool_size: int) -> int:
+    """The in-flight cap for a streaming dispatch.
+
+    Defaults to twice the pool so workers never starve while the
+    consumer folds, and is clamped to at least the pool size — a
+    smaller window would leave workers permanently idle.
+    """
+    if window is None:
+        return pool_size * 2
+    return max(ensure_positive_int("window", window), pool_size)
 
 
 def _collect(
@@ -111,7 +150,10 @@ class Executor:
     """Protocol for executor backends.
 
     Subclasses implement :meth:`map`; ``workers`` reports the degree of
-    parallelism (1 for serial).
+    parallelism (1 for serial).  :meth:`stream` has a default built on
+    :meth:`map` so duck-typed executors keep working; the built-in
+    backends override it to yield completions as futures resolve with a
+    bounded submission window.
     """
 
     workers: int = 1
@@ -125,6 +167,50 @@ class Executor:
     ) -> List[Any]:
         """Apply ``fn`` to every task, returning results in task order."""
         raise NotImplementedError
+
+    def stream(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        window: Optional[int] = None,
+    ) -> Iterator[StreamItem]:
+        """Yield ``(task_index, ok, payload)`` as tasks complete.
+
+        Every task runs (failures are yielded as data, never raised),
+        and each index appears exactly once.  The built-in backends
+        keep at most ``window`` tasks in flight (default
+        ``2 * workers``), so the number of completed-but-unconsumed
+        results — and hence the reorder buffer a plan-order consumer
+        needs — is bounded by the window, not the task count.
+
+        This default implementation runs :meth:`map` to completion and
+        replays it in order: correct for any executor that only
+        implements :meth:`map`, but without the memory bound.
+        """
+        tasks = list(tasks)
+        try:
+            results = self.map(fn, tasks)
+        except ShardExecutionError as error:
+            failed = {index: (err, tb) for index, err, tb in error.failures}
+            drained = error.results
+            for index in range(len(tasks)):
+                if index in failed:
+                    yield index, False, failed[index]
+                elif drained is None:
+                    # The executor raised without drained results, so
+                    # this task's outcome is unknown — report it as a
+                    # failure rather than fabricating a None success.
+                    yield index, False, (
+                        "result unavailable: the dispatch aborted before "
+                        "this task's result was drained",
+                        str(error),
+                    )
+                else:
+                    yield index, True, drained[index]
+            return
+        for index, value in enumerate(results):
+            yield index, True, value
 
 
 class SerialExecutor(Executor):
@@ -142,6 +228,19 @@ class SerialExecutor(Executor):
         tasks = list(tasks)
         outcomes = (_guarded_call((fn, task)) for task in tasks)
         return _collect(outcomes, len(tasks), progress)
+
+    def stream(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        window: Optional[int] = None,
+    ) -> Iterator[StreamItem]:
+        """Serial streaming: tasks complete (and yield) in index order,
+        so exactly one result is ever in flight."""
+        for index, task in enumerate(list(tasks)):
+            ok, value = _guarded_call((fn, task))
+            yield index, ok, value
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -188,6 +287,71 @@ class MultiprocessingExecutor(Executor):
             outcomes = pool.imap(_guarded_call, payloads)
             return _collect(outcomes, len(tasks), progress)
 
+    def stream(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        window: Optional[int] = None,
+    ) -> Iterator[StreamItem]:
+        """Yield completions as worker processes finish, out of order.
+
+        Windowed ``apply_async`` submission: a new task ships only when
+        a result is consumed, so at most ``window`` results ever exist
+        between the pool and the consumer.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        pool_size = min(self.workers, len(tasks))
+        if pool_size == 1:
+            yield from SerialExecutor().stream(fn, tasks)
+            return
+        window = _resolve_window(window, pool_size)
+        completions: "queue.SimpleQueue" = queue.SimpleQueue()
+        context = multiprocessing.get_context(self.start_method)
+        with context.Pool(pool_size) as pool:
+
+            def submit(index: int) -> None:
+                pool.apply_async(
+                    _guarded_call,
+                    ((fn, tasks[index]),),
+                    callback=lambda outcome, index=index: completions.put(
+                        (index, outcome)
+                    ),
+                    # _guarded_call captures task exceptions as data, so
+                    # this only fires on transport failures (e.g. an
+                    # unpicklable result); surface those as shard
+                    # failures too rather than hanging the drain.
+                    error_callback=lambda error, index=index: completions.put(
+                        (index, (False, (repr(error), _format_exception(error))))
+                    ),
+                )
+
+            # Submission is gated on the lowest *unyielded* index — the
+            # plan-order cursor a reorder-buffer consumer is waiting on
+            # — not on raw completion count.  If one early shard is
+            # slow, submission stalls at its index + window, so no
+            # more than `window` completions can ever pile up ahead of
+            # the cursor, even under extreme shard-time skew.
+            unyielded: set = set()
+            submitted = 0
+
+            def fill() -> None:
+                nonlocal submitted
+                low = min(unyielded, default=submitted)
+                while submitted < len(tasks) and submitted < low + window:
+                    submit(submitted)
+                    unyielded.add(submitted)
+                    submitted += 1
+
+            fill()
+            for _ in range(len(tasks)):
+                index, (ok, value) = completions.get()
+                unyielded.discard(index)
+                fill()
+                yield index, ok, value
+
     def __repr__(self) -> str:
         return f"MultiprocessingExecutor(workers={self.workers})"
 
@@ -228,6 +392,60 @@ class ThreadExecutor(Executor):
             # that makes merged results independent of the pool size.
             outcomes = pool.map(_guarded_call, payloads)
             return _collect(outcomes, len(tasks), progress)
+
+    def stream(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        *,
+        window: Optional[int] = None,
+    ) -> Iterator[StreamItem]:
+        """Yield completions as pool threads finish, out of order.
+
+        At most ``window`` futures are outstanding at a time — each
+        consumed completion releases the next submission — which bounds
+        completed-but-unconsumed results by the window.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        pool_size = min(self.workers, len(tasks))
+        if pool_size == 1:
+            yield from SerialExecutor().stream(fn, tasks)
+            return
+        window = _resolve_window(window, pool_size)
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            pending = {}
+            submitted = 0
+
+            # Same gate as the process backend: new submissions stop at
+            # (lowest unyielded index) + window, so completions can
+            # never outrun a plan-order consumer by more than the
+            # window, no matter how skewed the shard durations are.
+            def fill() -> None:
+                nonlocal submitted
+                low = min(pending.values(), default=submitted)
+                while submitted < len(tasks) and submitted < low + window:
+                    future = pool.submit(_guarded_call, (fn, tasks[submitted]))
+                    pending[future] = submitted
+                    submitted += 1
+
+            try:
+                fill()
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        ok, value = future.result()
+                        fill()
+                        yield index, ok, value
+            finally:
+                # An abandoned generator (the consumer raised
+                # mid-stream) must not sit through the whole submission
+                # window: cancel everything still queued so the pool's
+                # shutdown only waits for the tasks actually running.
+                for future in pending:
+                    future.cancel()
 
     def __repr__(self) -> str:
         return f"ThreadExecutor(workers={self.workers})"

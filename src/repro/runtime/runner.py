@@ -7,8 +7,14 @@ or a system experiment (node-level repeats) it
 1. checks the content-addressed cache for a previous merged result,
 2. splits the work into a worker-count-independent shard plan,
 3. executes the shards on the configured backend, and
-4. merges shard results in plan order via
-   :meth:`~repro.core.results.EnsembleResult.merge`.
+4. merges shard results in plan order — by default *streaming*: each
+   shard folds into a
+   :class:`~repro.core.results.MergeAccumulator` the moment it clears
+   the :class:`ReorderBuffer`, so at most ``O(workers)`` shard results
+   are in flight instead of ``O(shards)``; ``stream=False`` restores
+   the collect-then-:meth:`~repro.core.results.EnsembleResult.merge`
+   batch path.  Both paths produce byte-identical ensembles and cache
+   artifacts.
 
 Because the plan and the merge order are independent of the executor,
 ``workers=1`` and ``workers=8`` produce bit-identical merged arrays
@@ -28,10 +34,19 @@ under every multiprocessing start method.
 from __future__ import annotations
 
 import pathlib
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .._validation import ensure_positive_int
-from ..core.results import EnsembleResult
+from ..core.results import EnsembleResult, MergeAccumulator
 from ..sim.rng import RandomSource, SeedLike
 from .cache import ResultCache
 from .executor import (
@@ -43,7 +58,82 @@ from .executor import (
 from .sharding import DEFAULT_SHARD_COUNT, Shard, plan_shards
 from .spec import SimulationSpec, SystemSpec, spec_fingerprint
 
-__all__ = ["ParallelRunner"]
+__all__ = ["ParallelRunner", "ReorderBuffer"]
+
+
+class ReorderBuffer:
+    """Stage out-of-order completions, releasing them in index order.
+
+    The streaming merge must fold shard results in *plan* order (the
+    order that makes merged bits worker-count-independent), but a pool
+    completes shards in whatever order they finish.  The buffer holds
+    the completions that arrived early; :meth:`push` returns every item
+    that just became consumable, in index order.
+
+    Occupancy is bounded by the executor's submission window, not the
+    task count: at most ``window`` tasks are in flight, so at most
+    ``window - 1`` completions can be staged ahead of the next index.
+
+    Parameters
+    ----------
+    total:
+        Number of indices the buffer will see (0..total-1, each exactly
+        once).
+    """
+
+    def __init__(self, total: int) -> None:
+        if total < 0:
+            raise ValueError(f"total must be non-negative, got {total}")
+        self.total = total
+        self._next = 0
+        self._staged: Dict[int, Any] = {}
+
+    @property
+    def staged(self) -> int:
+        """Completions held waiting for an earlier index."""
+        return len(self._staged)
+
+    @property
+    def released(self) -> int:
+        """Completions already handed out in index order."""
+        return self._next
+
+    @property
+    def complete(self) -> bool:
+        """Whether every index has been pushed and released."""
+        return self._next == self.total and not self._staged
+
+    def push(self, index: int, item: Any) -> List[Tuple[int, Any]]:
+        """Stage one completion; return the items now consumable, in order."""
+        if not 0 <= index < self.total:
+            raise IndexError(
+                f"index {index} out of range for a {self.total}-item buffer"
+            )
+        if index < self._next or index in self._staged:
+            raise ValueError(f"index {index} was already pushed")
+        self._staged[index] = item
+        released: List[Tuple[int, Any]] = []
+        while self._next in self._staged:
+            released.append((self._next, self._staged.pop(self._next)))
+            self._next += 1
+        return released
+
+    def __repr__(self) -> str:
+        return (
+            f"ReorderBuffer(next={self._next}, total={self.total}, "
+            f"staged={self.staged})"
+        )
+
+
+class _Pending(NamedTuple):
+    """One uncached spec of a dispatch: where its shards live in the
+    task list and where its merged result goes."""
+
+    position: int  # slot in the caller's result list
+    key: Optional[str]  # cache fingerprint, None when caching is off
+    start: int  # first task index of this spec's shards
+    count: int  # number of shards
+    trials: int  # total trials across the shards (the plan total)
 
 
 def _run_simulation_shard(task: Tuple[SimulationSpec, Shard]) -> EnsembleResult:
@@ -107,9 +197,21 @@ class ParallelRunner:
         when comparing runs.
     progress:
         Optional ``callback(completed, total_shards)`` fired as shard
-        results arrive, in plan order.  ``total_shards`` covers the
-        whole dispatch — for :meth:`run_many` that is every uncached
-        shard of every spec in the grid.
+        results are *merged*, in plan order.  ``total_shards`` covers
+        the whole dispatch — for :meth:`run_many` that is every
+        uncached shard of every spec in the grid.  Counting merged
+        (not dispatched) shards means the count can never overshoot
+        the total, even when a shard fails mid-grid and the completed
+        specs are salvaged.
+    stream:
+        Whether to fold shard results incrementally as they complete
+        (default True).  The streaming path holds ``O(workers)`` shard
+        results in flight instead of ``O(shards)`` — out-of-order
+        completions stage in a bounded :class:`ReorderBuffer` so the
+        fold happens in plan order and the merged ensemble is
+        **bit-identical** to the batch ``EnsembleResult.merge`` (and
+        hits the same cache entries).  ``stream=False`` keeps the
+        original collect-then-merge path.
 
     Examples
     --------
@@ -132,6 +234,7 @@ class ParallelRunner:
         progress: Optional[ProgressCallback] = None,
         executor: Optional[Executor] = None,
         backend: str = "processes",
+        stream: bool = True,
     ) -> None:
         self.executor = (
             executor
@@ -144,6 +247,7 @@ class ParallelRunner:
             self.cache = ResultCache(cache)
         self.default_shards = shards
         self.progress = progress
+        self.stream = bool(stream)
 
     @property
     def workers(self) -> int:
@@ -158,16 +262,21 @@ class ParallelRunner:
     # -- execution -------------------------------------------------------
 
     def run(
-        self, spec: SimulationSpec, *, shards: Optional[int] = None
+        self,
+        spec: SimulationSpec,
+        *,
+        shards: Optional[int] = None,
+        stream: Optional[bool] = None,
     ) -> EnsembleResult:
         """Run (or load) the Monte Carlo ensemble described by ``spec``."""
-        return self.run_many([spec], shards=shards)[0]
+        return self.run_many([spec], shards=shards, stream=stream)[0]
 
     def run_many(
         self,
         specs: Sequence[SimulationSpec],
         *,
         shards: Optional[int] = None,
+        stream: Optional[bool] = None,
     ) -> List[EnsembleResult]:
         """Run (or load) a whole grid of Monte Carlo ensembles at once.
 
@@ -177,6 +286,10 @@ class ParallelRunner:
         workers never idle between grid cells and pool latency is paid
         once per grid instead of once per cell.  Progress callbacks see
         ``(completed, total)`` across the whole grid.
+
+        ``stream`` overrides the runner's streaming default for this
+        call; both settings produce bit-identical results and cache
+        entries.
         """
         specs = list(specs)
         for spec in specs:
@@ -188,6 +301,7 @@ class ParallelRunner:
             [(spec, spec.trials) for spec in specs],
             _run_simulation_shard,
             shards,
+            stream,
         )
 
     def run_system(
@@ -199,6 +313,7 @@ class ParallelRunner:
         checkpoints: Optional[Sequence[int]] = None,
         seed: SeedLike = None,
         shards: Optional[int] = None,
+        stream: Optional[bool] = None,
     ) -> EnsembleResult:
         """Run (or load) ``repeats`` node-level deployments of ``experiment``.
 
@@ -213,13 +328,14 @@ class ParallelRunner:
             checkpoints=None if checkpoints is None else tuple(checkpoints),
             seed=seed,
         )
-        return self.run_system_many([spec], shards=shards)[0]
+        return self.run_system_many([spec], shards=shards, stream=stream)[0]
 
     def run_system_many(
         self,
         specs: Sequence[SystemSpec],
         *,
         shards: Optional[int] = None,
+        stream: Optional[bool] = None,
     ) -> List[EnsembleResult]:
         """Run (or load) many node-level system ensembles at once.
 
@@ -234,7 +350,10 @@ class ParallelRunner:
                     f"specs must be SystemSpecs, got {type(spec).__name__}"
                 )
         return self._execute_many(
-            [(spec, spec.repeats) for spec in specs], _run_system_shard, shards
+            [(spec, spec.repeats) for spec in specs],
+            _run_system_shard,
+            shards,
+            stream,
         )
 
     def _resolve_shards(self, total: int, shards: Optional[int]) -> int:
@@ -253,10 +372,12 @@ class ParallelRunner:
             shards = max(DEFAULT_SHARD_COUNT, self.workers)
         return min(total, ensure_positive_int("shards", shards))
 
-    def _execute_many(self, entries, shard_fn, shards: Optional[int]):
+    def _execute_many(
+        self, entries, shard_fn, shards: Optional[int], stream: Optional[bool]
+    ):
         merged: List[Optional[EnsembleResult]] = [None] * len(entries)
         tasks: List[Tuple[Any, Shard]] = []
-        pending: List[Tuple[int, Optional[str], int, int]] = []
+        pending: List[_Pending] = []
         first_pending: dict = {}
         duplicates: List[Tuple[int, int, str]] = []
         for position, (spec, total) in enumerate(entries):
@@ -279,22 +400,109 @@ class ParallelRunner:
                     merged[position] = cached
                     continue
                 first_pending[key] = position
-            pending.append((position, key, len(tasks), len(plan)))
+            pending.append(
+                _Pending(position, key, len(tasks), len(plan), plan.total)
+            )
             tasks.extend((spec, shard) for shard in plan)
+        use_stream = self.stream if stream is None else bool(stream)
+        # Duck-typed executors predating the streaming protocol only
+        # implement map(); fall back to the batch path for them.
+        use_stream = use_stream and hasattr(self.executor, "stream")
+        if use_stream and tasks:
+            self._fold_streamed(tasks, pending, shard_fn, merged)
+        else:
+            self._merge_batch(tasks, pending, shard_fn, merged)
+        for position, original, key in duplicates:
+            loaded = self.cache.get(key)
+            merged[position] = loaded if loaded is not None else merged[original]
+        return merged
+
+    def _merge_batch(self, tasks, pending, shard_fn, merged) -> None:
+        """The original path: collect every shard result, then merge."""
         try:
             results = self.executor.map(shard_fn, tasks, progress=self.progress)
         except ShardExecutionError as error:
             self._salvage_completed(pending, error)
             raise
-        for position, key, start, count in pending:
-            result = EnsembleResult.merge(results[start:start + count])
-            if key is not None:
-                self.cache.put(key, result)
-            merged[position] = result
-        for position, original, key in duplicates:
-            loaded = self.cache.get(key)
-            merged[position] = loaded if loaded is not None else merged[original]
-        return merged
+        for entry in pending:
+            result = EnsembleResult.merge(
+                results[entry.start:entry.start + entry.count]
+            )
+            if entry.key is not None:
+                self.cache.put(entry.key, result)
+            merged[entry.position] = result
+
+    def _fold_streamed(self, tasks, pending, shard_fn, merged) -> None:
+        """Fold shard results in plan order as they complete.
+
+        Completions arrive from :meth:`Executor.stream` in whatever
+        order the pool finishes them; a :class:`ReorderBuffer` (bounded
+        by the executor's submission window) restores plan order, and
+        each released shard folds straight into its spec's
+        :class:`~repro.core.results.MergeAccumulator` and is dropped —
+        at most ``O(workers)`` shard results are ever held, against
+        ``O(shards)`` on the batch path, while the folded ensemble
+        stays bit-identical to ``EnsembleResult.merge``.
+
+        A spec whose shards all folded is finalized — and cached —
+        immediately, so a later shard failure in another spec never
+        discards completed work (the same salvage guarantee the batch
+        path implements after the fact).  Progress fires once per
+        *merged* shard, in plan order, and therefore cannot overshoot
+        the dispatch total when shards fail.
+        """
+        owner: Dict[int, int] = {}
+        for slot, entry in enumerate(pending):
+            for index in range(entry.start, entry.start + entry.count):
+                owner[index] = slot
+        accumulators: List[Optional[MergeAccumulator]] = [None] * len(pending)
+        remaining = [entry.count for entry in pending]
+        poisoned = [False] * len(pending)
+        failures: List[Tuple[int, str, str]] = []
+        buffer = ReorderBuffer(len(tasks))
+        folded = 0
+        for index, ok, payload in self.executor.stream(shard_fn, tasks):
+            for task_index, (item_ok, item) in buffer.push(index, (ok, payload)):
+                slot = owner[task_index]
+                entry = pending[slot]
+                if not item_ok:
+                    error, tb = item
+                    failures.append((task_index, error, tb))
+                    poisoned[slot] = True
+                    accumulators[slot] = None  # free the partial fold
+                elif not poisoned[slot]:
+                    accumulator = accumulators[slot]
+                    if accumulator is None:
+                        accumulator = MergeAccumulator(
+                            expected_trials=entry.trials
+                        )
+                        accumulators[slot] = accumulator
+                    accumulator.add(item)
+                remaining[slot] -= 1
+                folded += 1
+                if self.progress is not None:
+                    self.progress(folded, len(tasks))
+                if remaining[slot] == 0 and not poisoned[slot]:
+                    result = accumulators[slot].result()
+                    accumulators[slot] = None
+                    if entry.key is not None:
+                        self.cache.put(entry.key, result)
+                    merged[entry.position] = result
+        if not buffer.complete:
+            # A custom stream() that drops tasks instead of yielding
+            # them as failures would otherwise surface as silent None
+            # results far downstream.
+            raise RuntimeError(
+                f"executor stream yielded {buffer.released + buffer.staged} "
+                f"of {buffer.total} tasks — every task must be yielded "
+                "exactly once (as a failure if it did not run)"
+            )
+        if failures:
+            # Completed specs were already cached as they finalized, so
+            # parity with the batch path's salvage is built in; the
+            # drained per-task results are deliberately not retained
+            # (retaining them is exactly what streaming avoids).
+            raise ShardExecutionError(failures)
 
     def _salvage_completed(self, pending, error: ShardExecutionError) -> None:
         """Cache the specs whose shards all completed despite the failure.
@@ -308,10 +516,17 @@ class ParallelRunner:
         if results is None or self.cache is None:
             return
         failed = {index for index, _, _ in error.failures}
-        for _, key, start, count in pending:
-            if key is None or any(i in failed for i in range(start, start + count)):
+        for entry in pending:
+            if entry.key is None or any(
+                i in failed for i in range(entry.start, entry.start + entry.count)
+            ):
                 continue
-            self.cache.put(key, EnsembleResult.merge(results[start:start + count]))
+            self.cache.put(
+                entry.key,
+                EnsembleResult.merge(
+                    results[entry.start:entry.start + entry.count]
+                ),
+            )
 
     def __repr__(self) -> str:
         return (

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.miners import Allocation
-from repro.core.results import EnsembleResult, SeriesSummary
+from repro.core.results import EnsembleResult, MergeAccumulator, SeriesSummary
 
 
 def make_result(trials=50, checkpoints=(10, 20, 30), miners=2, value=0.2):
@@ -147,3 +147,123 @@ class TestSeriesSummaryValidation:
                 upper=np.array([0.3, 0.3]),
                 unfair_probability=np.array([0.0, 0.0]),
             )
+
+
+def varied_result(seed, trials):
+    """A result with non-constant fractions, for byte-level comparisons."""
+    rng = np.random.default_rng(seed)
+    allocation = Allocation.two_miners(0.2)
+    fractions = rng.random((trials, 3, 2))
+    terminal = rng.random((trials, 2)) + 0.05
+    return EnsembleResult(
+        "test", allocation, (10, 20, 30), fractions, terminal
+    )
+
+
+class TestMergeAccumulator:
+    def parts(self):
+        return [varied_result(seed, trials) for seed, trials in
+                ((1, 3), (2, 5), (3, 2))]
+
+    @pytest.mark.parametrize("preallocate", [True, False])
+    def test_matches_batch_merge_byte_for_byte(self, preallocate):
+        parts = self.parts()
+        expected = sum(p.trials for p in parts) if preallocate else None
+        accumulator = MergeAccumulator(expected_trials=expected)
+        for part in parts:
+            accumulator.add(part)
+        folded = accumulator.result()
+        reference = EnsembleResult.merge(parts)
+        assert folded.reward_fractions.tobytes() == (
+            reference.reward_fractions.tobytes()
+        )
+        assert folded.terminal_stakes.tobytes() == (
+            reference.terminal_stakes.tobytes()
+        )
+        assert folded.checkpoints.tobytes() == reference.checkpoints.tobytes()
+        assert folded.protocol_name == reference.protocol_name
+        assert folded.allocation == reference.allocation
+
+    def test_merge_into_chains(self):
+        parts = self.parts()
+        accumulator = MergeAccumulator(expected_trials=10)
+        for part in parts:
+            assert part.merge_into(accumulator) is accumulator
+        assert accumulator.count == 3
+        assert accumulator.trials == 10
+        assert accumulator.complete
+        assert accumulator.result().trials == 10
+
+    def test_empty_result_raises_like_merge(self):
+        with pytest.raises(ValueError, match="empty"):
+            MergeAccumulator().result()
+        with pytest.raises(ValueError, match="empty"):
+            MergeAccumulator(expected_trials=4).result()
+
+    def test_mismatched_parts_raise_like_merge(self):
+        accumulator = MergeAccumulator(expected_trials=8)
+        accumulator.add(varied_result(1, 3))
+        other_allocation = Allocation.two_miners(0.3)
+        mismatched = EnsembleResult(
+            "test", other_allocation, (10, 20, 30),
+            np.full((2, 3, 2), 0.5), np.full((2, 2), 0.5),
+        )
+        with pytest.raises(ValueError, match="allocations"):
+            accumulator.add(mismatched)
+
+    def test_terminal_stake_disagreement_raises(self):
+        accumulator = MergeAccumulator()
+        accumulator.add(varied_result(1, 3))
+        without_terminal = EnsembleResult(
+            "test", Allocation.two_miners(0.2), (10, 20, 30),
+            np.full((2, 3, 2), 0.5),
+        )
+        with pytest.raises(ValueError, match="terminal stake"):
+            accumulator.add(without_terminal)
+
+    def test_overflowing_expected_trials_raises(self):
+        accumulator = MergeAccumulator(expected_trials=4)
+        accumulator.add(varied_result(1, 3))
+        with pytest.raises(ValueError, match="more than"):
+            accumulator.add(varied_result(2, 2))
+
+    def test_incomplete_fold_raises(self):
+        accumulator = MergeAccumulator(expected_trials=9)
+        accumulator.add(varied_result(1, 3))
+        assert not accumulator.complete
+        with pytest.raises(ValueError, match="3 of the expected 9"):
+            accumulator.result()
+
+    def test_rejects_non_result(self):
+        with pytest.raises(TypeError, match="EnsembleResult"):
+            MergeAccumulator().add("shard")
+
+    def test_rejects_non_positive_expected_trials(self):
+        with pytest.raises(ValueError, match="expected_trials"):
+            MergeAccumulator(expected_trials=0)
+
+    def test_repr_shows_progress(self):
+        accumulator = MergeAccumulator(expected_trials=8)
+        accumulator.add(varied_result(1, 3))
+        assert "3/8" in repr(accumulator)
+        assert "?" in repr(MergeAccumulator())
+
+    def test_preallocated_fold_releases_folded_parts(self):
+        # The memory bound depends on parts being collectable once
+        # copied in — including the first, whose metadata (not arrays)
+        # seeds the template.
+        import gc
+        import weakref
+
+        accumulator = MergeAccumulator(expected_trials=8)
+        refs = []
+        for seed, trials in ((1, 3), (2, 5)):
+            part = varied_result(seed, trials)
+            refs.append(weakref.ref(part))
+            accumulator.add(part)
+            del part
+        gc.collect()
+        assert all(ref() is None for ref in refs), (
+            "accumulator retained folded shard results"
+        )
+        assert accumulator.result().trials == 8

@@ -185,6 +185,59 @@ class TestBudget:
         assert len(cache) == len(cache_keys)
         assert cache.evictions == 0
 
+    def test_occupancy_exactly_at_budget_is_not_evicted(
+        self, cache_keys, tmp_path, result
+    ):
+        # The budget is inclusive: eviction triggers strictly *over*
+        # max_bytes, so a cache filled to exactly the budget keeps
+        # every entry.
+        size = self.artifact_size(tmp_path, result)
+        cache = ResultCache(tmp_path / "cache", max_bytes=size * 2)
+        cache.put(cache_keys[0], result)
+        cache.put(cache_keys[1], result)
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(cache_keys[0]) is not None
+        assert cache.get(cache_keys[1]) is not None
+
+    def test_budget_smaller_than_one_entry_keeps_only_newest(
+        self, cache_keys, tmp_path, result
+    ):
+        import os, time
+
+        size = self.artifact_size(tmp_path, result)
+        cache = ResultCache(tmp_path / "cache", max_bytes=max(1, size // 2))
+        first = cache.put(cache_keys[0], result)
+        # Backdate so the LRU order is unambiguous on coarse-mtime
+        # filesystems.
+        os.utime(first, (time.time() - 60, time.time() - 60))
+        cache.put(cache_keys[1], result)
+        # The oversized newcomer always lands (self-eviction is
+        # forbidden) and the previous oversized entry is the one that
+        # pays for it.
+        assert len(cache) == 1
+        assert cache.evictions == 1
+        assert cache.get(cache_keys[0]) is None
+        assert cache.get(cache_keys[1]) is not None
+
+    def test_corrupt_entry_eviction_updates_occupancy_estimate(
+        self, cache_keys, tmp_path, result
+    ):
+        # A corrupt artifact evicted by get() must leave the running
+        # byte estimate, or later puts would see phantom occupancy and
+        # evict live entries early.
+        size = self.artifact_size(tmp_path, result)
+        cache = ResultCache(tmp_path / "cache", max_bytes=size * 3)
+        path = cache.put(cache_keys[0], result)
+        assert cache._approx_bytes == size
+        path.write_bytes(b"truncated")
+        assert cache.get(cache_keys[0]) is None  # evicted as corrupt
+        assert cache._approx_bytes == size - len(b"truncated")
+        cache.put(cache_keys[1], result)
+        cache.put(cache_keys[2], result)
+        assert cache.evictions == 0  # no phantom-occupancy evictions
+        assert len(cache) == 2
+
 
 @pytest.fixture
 def cache_keys():
@@ -226,6 +279,39 @@ class TestConcurrency:
         assert cache.hits == len(keys) * 6
         assert cache.misses == 0
         assert len(cache) == len(keys)
+
+    def test_eviction_racing_concurrent_gets_under_threads(
+        self, tmp_path, result
+    ):
+        # A budgeted cache evicting LRU entries while pool threads
+        # hammer get(): every get must return either a fully intact
+        # result or a clean miss — never a partial read or a crash —
+        # and the hit/miss tally must cover every call.
+        size = ResultCache(tmp_path / "probe").put("f" * 64, result).stat().st_size
+        cache = ResultCache(tmp_path / "cache", max_bytes=size * 3)
+        keys = [format(i, "x") * 16 for i in range(1, 9)]
+        reference = result.reward_fractions.tobytes()
+        gets = 0
+
+        def hammer(key):
+            outcomes = 0
+            for _ in range(8):
+                cache.put(key, result)  # keeps evictions churning
+                loaded = cache.get(key)
+                if loaded is not None:
+                    assert loaded.reward_fractions.tobytes() == reference
+                outcomes += 1
+            return outcomes
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            gets = sum(pool.map(hammer, keys))
+
+        assert gets == len(keys) * 8
+        assert cache.hits + cache.misses == gets
+        stats = cache.stats()
+        # The churn must have actually exercised the eviction path.
+        assert stats["evictions"] > 0
+        assert stats["bytes"] <= size * len(keys)
 
     def test_threads_backend_grid_with_shared_cache(self, tmp_path, two_miners):
         # End-to-end: a thread-pool grid run whose shards complete

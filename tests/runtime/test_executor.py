@@ -1,9 +1,12 @@
 """Tests for repro.runtime.executor — serial/process/thread backends."""
 
+import time
+
 import pytest
 
 from repro.runtime.executor import (
     EXECUTOR_BACKENDS,
+    Executor,
     MultiprocessingExecutor,
     SerialExecutor,
     ShardExecutionError,
@@ -20,6 +23,13 @@ def fail_on_odd(x):
     if x % 2 == 1:
         raise ValueError(f"odd input {x}")
     return x
+
+
+def slow_head(x):
+    """Task 0 finishes last, guaranteeing out-of-order completion."""
+    if x == 0:
+        time.sleep(0.25)
+    return x * x
 
 
 class TestSerialExecutor:
@@ -114,6 +124,150 @@ class TestThreadExecutor:
     def test_rejects_non_positive_workers(self):
         with pytest.raises(ValueError):
             ThreadExecutor(0)
+
+
+STREAM_EXECUTORS = [
+    pytest.param(SerialExecutor(), id="serial"),
+    pytest.param(ThreadExecutor(3), id="threads"),
+    pytest.param(MultiprocessingExecutor(3), id="processes"),
+]
+
+
+class TestStream:
+    @pytest.mark.parametrize("executor", STREAM_EXECUTORS)
+    def test_yields_every_index_exactly_once_with_results(self, executor):
+        tasks = list(range(10))
+        items = list(executor.stream(square, tasks))
+        assert sorted(index for index, _, _ in items) == tasks
+        assert all(ok for _, ok, _ in items)
+        assert {index: value for index, _, value in items} == {
+            x: x * x for x in tasks
+        }
+
+    @pytest.mark.parametrize("executor", STREAM_EXECUTORS)
+    def test_failures_streamed_as_data_not_raised(self, executor):
+        items = list(executor.stream(fail_on_odd, [0, 1, 2, 3]))
+        outcomes = {index: (ok, value) for index, ok, value in items}
+        assert outcomes[0] == (True, 0)
+        assert outcomes[2] == (True, 2)
+        for index in (1, 3):
+            ok, payload = outcomes[index]
+            assert not ok
+            error_repr, tb = payload
+            assert f"odd input {index}" in error_repr
+
+    @pytest.mark.parametrize("executor", STREAM_EXECUTORS)
+    def test_empty_tasks(self, executor):
+        assert list(executor.stream(square, [])) == []
+
+    def test_serial_stream_is_in_order(self):
+        items = list(SerialExecutor().stream(square, list(range(6))))
+        assert [index for index, _, _ in items] == list(range(6))
+
+    @pytest.mark.parametrize(
+        "executor",
+        [pytest.param(ThreadExecutor(2), id="threads"),
+         pytest.param(MultiprocessingExecutor(2), id="processes")],
+    )
+    def test_submission_gated_on_lowest_unyielded_index(self, executor):
+        # Task 0 is slow while every later task is instant.  Submission
+        # must stall at (lowest unyielded index) + window, so no more
+        # than window completions can ever be yielded ahead of the
+        # plan-order cursor — the bound the runner's reorder buffer
+        # relies on.  Without the gate, all nine fast tasks would
+        # complete and yield before task 0.
+        items = list(executor.stream(slow_head, list(range(10)), window=3))
+        order = [index for index, _, _ in items]
+        assert sorted(order) == list(range(10))
+        assert order.index(0) <= 3
+
+    def test_thread_stream_completes_out_of_order(self):
+        # Task 0 sleeps; with 2 workers the later tasks finish (and
+        # must be yielded) before it — the reorder buffer's raison
+        # d'être.
+        items = list(ThreadExecutor(2).stream(slow_head, list(range(4))))
+        order = [index for index, _, _ in items]
+        assert sorted(order) == [0, 1, 2, 3]
+        assert order[0] != 0
+
+    @pytest.mark.parametrize(
+        "executor",
+        [pytest.param(ThreadExecutor(2), id="threads"),
+         pytest.param(MultiprocessingExecutor(2), id="processes")],
+    )
+    def test_window_smaller_than_pool_is_clamped(self, executor):
+        tasks = list(range(8))
+        items = list(executor.stream(square, tasks, window=1))
+        assert sorted(index for index, _, _ in items) == tasks
+
+    def test_abandoned_thread_stream_cancels_queued_tasks(self):
+        # A consumer that raises mid-stream must not wait out the whole
+        # submission window: queued-but-unstarted tasks are cancelled
+        # when the generator is closed, so shutdown only waits for the
+        # tasks actually on a worker.
+        import threading
+
+        started = []
+        release = threading.Event()
+
+        def gated(x):
+            started.append(x)
+            if x != 0:
+                release.wait(timeout=5)
+            return x
+
+        stream = ThreadExecutor(2).stream(gated, list(range(12)), window=8)
+        index, ok, value = next(stream)  # submits the window; task 0 lands
+        assert (index, ok, value) == (0, True, 0)
+        # Unblock the in-flight workers shortly after close() starts
+        # waiting on them.
+        threading.Timer(0.15, release.set).start()
+        stream.close()  # what an exception in the consumer loop does
+        # Only task 0 and the tasks already picked up by the two
+        # workers ran; the queued remainder of the 8-task window was
+        # cancelled rather than executed during shutdown.
+        assert len(started) <= 5
+
+    def test_single_worker_pools_degrade_to_serial_stream(self):
+        for executor in (ThreadExecutor(4), MultiprocessingExecutor(4)):
+            items = list(executor.stream(square, [5]))
+            assert items == [(0, True, 25)]
+
+    def test_base_class_fallback_replays_map(self):
+        class MapOnly(Executor):
+            def map(self, fn, tasks, *, progress=None):
+                return [fn(task) for task in tasks]
+
+        items = list(MapOnly().stream(square, [1, 2, 3]))
+        assert items == [(0, True, 1), (1, True, 4), (2, True, 9)]
+
+    def test_base_class_fallback_replays_aggregated_failures(self):
+        class MapOnly(Executor):
+            def map(self, fn, tasks, *, progress=None):
+                return SerialExecutor().map(fn, tasks, progress=progress)
+
+        items = list(MapOnly().stream(fail_on_odd, [0, 1, 2]))
+        assert [index for index, _, _ in items] == [0, 1, 2]
+        assert [ok for _, ok, _ in items] == [True, False, True]
+        assert "odd input 1" in items[1][2][0]
+
+    def test_base_class_fallback_without_drained_results_yields_no_successes(
+        self,
+    ):
+        # A map() that raises ShardExecutionError without the optional
+        # drained results leaves the non-failed outcomes unknown; the
+        # fallback must report them as failures, never as successful
+        # None results (which would crash the streaming fold instead
+        # of propagating a ShardExecutionError).
+        class AbortingMap(Executor):
+            def map(self, fn, tasks, *, progress=None):
+                raise ShardExecutionError([(1, "ValueError('odd')", "tb")])
+
+        items = list(AbortingMap().stream(fail_on_odd, [0, 1, 2]))
+        assert [ok for _, ok, _ in items] == [False, False, False]
+        assert "odd" in items[1][2][0]
+        assert "result unavailable" in items[0][2][0]
+        assert "result unavailable" in items[2][2][0]
 
 
 class TestMakeExecutor:

@@ -1,6 +1,6 @@
 """Parallel + cached experiments with ``repro.runtime``.
 
-Demonstrates the seven ways to use the runtime layer:
+Demonstrates the eight ways to use the runtime layer:
 
 1. the high-level :class:`MiningGame` knobs (``workers=``, ``cache=``),
 2. an explicit :class:`ParallelRunner` over a :class:`SimulationSpec`
@@ -30,7 +30,17 @@ Demonstrates the seven ways to use the runtime layer:
    ensemble as they complete instead of piling up for a terminal
    merge, so a 100k-trial run peaks near ONE merged ensemble in
    memory instead of two — bit-identical to the batch path, same
-   cache artifacts.
+   cache artifacts,
+
+8. runtime telemetry (``repro.obs``, the CLI's ``--trace PATH`` and
+   ``--metrics``): install an ambient span tracer + metrics registry
+   around any run and get per-shard submit/run/complete/merge spans
+   (worker telemetry ships home inside the shard payloads, even
+   across process boundaries), cache hit/miss/eviction counters, and
+   kernel batched-vs-naive timings — summarized as a table, written
+   as JSONL for ``repro-trace summarize``.  Telemetry never enters
+   cache fingerprints and never touches random state: traced and
+   untraced runs are bit-identical and share cache artifacts.
 
 How the knobs compose: the kernel attacks per-round *depth*, workers
 attack ensemble *breadth*.  Start with ``workers=1`` + the default
@@ -232,6 +242,43 @@ def main() -> None:
           f"{peaks['stream'] / 1e6:.0f} MB "
           f"({peaks['stream'] / peaks['batch']:.2f}x, same bits, "
           f"{result.trials} trials)")
+
+    # 8. Telemetry: wrap any run in an ambient tracer + metrics
+    #    registry and every layer underneath reports in — the runner
+    #    emits a root span and per-shard submit/merge events, the
+    #    executors stamp completions, workers trace their shard.run
+    #    (and the cache/kernel spans inside it) into a private buffer
+    #    that ships home WITH the shard payload, so nothing is lost to
+    #    process boundaries.  This is what
+    #    `repro-experiments fig2 --workers 2 --trace run.jsonl --metrics`
+    #    does; `repro-trace summarize run.jsonl` reads it back later.
+    #    Doctrine: telemetry never enters cache fingerprints and never
+    #    touches random state — a traced run is bit-identical to an
+    #    untraced one and loads the same cache artifacts.
+    from repro.obs import (
+        MetricsRegistry, Tracer, summarize_spans,
+        using_metrics, using_tracer,
+    )
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with using_tracer(tracer), using_metrics(metrics):
+        traced = ParallelRunner(workers=WORKERS).run_many(grid, shards=4)
+    identical = all(
+        np.array_equal(a.reward_fractions, b.reward_fractions)
+        for a, b in zip(per_cell, traced)
+    )
+    summary = summarize_spans(tracer.spans)
+    shards = summary["shards"]
+    kernel_calls = sum(
+        mode["calls"] for mode in summary["kernel"].values()
+    )
+    print(f"traced rerun of the 5-cell grid: {len(tracer)} spans, "
+          f"{shards['completed']} shards "
+          f"(queue-wait p90 {shards['queue_wait']['p90'] * 1e3:.1f}ms, "
+          f"merge-lag p90 {shards['merge_lag']['p90'] * 1e3:.1f}ms), "
+          f"{kernel_calls} kernel calls, "
+          f"{metrics.counter('runner.shards_dispatched').value} shards "
+          f"dispatched, bit-identical to untraced = {identical}")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ _LONG_DESCRIPTION = (
 
 setup(
     name="repro-blockchain-fairness",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Fairness analysis for blockchain incentives — SIGMOD 2021 "
         "reproduction"
@@ -36,6 +36,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-experiments=repro.experiments.runner:main",
+            "repro-trace=repro.obs.report:main",
         ],
     },
     classifiers=[

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .._validation import ensure_positive_float, ensure_positive_int
+from ..obs.trace import get_tracer
 from .block import Block, fast_block
 from .chain import Blockchain
 from .c_pos_node import CPoSCommittee, CPoSValidator
@@ -530,6 +531,19 @@ class TickMiningNetwork:
     def run(self, blocks: int) -> None:
         """Mine ``blocks`` consecutive blocks."""
         blocks = ensure_positive_int("blocks", blocks)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "chainsim.run",
+                network=type(self).__name__,
+                rounds=blocks,
+                fast=self.fast,
+            ):
+                self._run(blocks)
+        else:
+            self._run(blocks)
+
+    def _run(self, blocks: int) -> None:
         self._tracker.reserve(blocks)
         for _ in range(blocks):
             self.mine_block()
@@ -741,6 +755,19 @@ class DeadlineMiningNetwork:
     def run(self, blocks: int) -> None:
         """Mine ``blocks`` consecutive blocks."""
         blocks = ensure_positive_int("blocks", blocks)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "chainsim.run",
+                network=type(self).__name__,
+                rounds=blocks,
+                fast=self.fast,
+            ):
+                self._run(blocks)
+        else:
+            self._run(blocks)
+
+    def _run(self, blocks: int) -> None:
         self._tracker.reserve(blocks)
         for _ in range(blocks):
             self.mine_block()
@@ -919,6 +946,19 @@ class CPoSNetwork:
     def run(self, epochs: int) -> None:
         """Run ``epochs`` consecutive epochs."""
         epochs = ensure_positive_int("epochs", epochs)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "chainsim.run",
+                network=type(self).__name__,
+                rounds=epochs,
+                fast=self.fast,
+            ):
+                self._run(epochs)
+        else:
+            self._run(epochs)
+
+    def _run(self, epochs: int) -> None:
         self._tracker.reserve(epochs)
         for _ in range(epochs):
             self.run_epoch()

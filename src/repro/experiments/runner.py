@@ -21,6 +21,16 @@ import sys
 import time
 from typing import List, Optional
 
+from ..obs import (
+    MetricsRegistry,
+    Tracer,
+    render_cache_stats,
+    render_metrics,
+    render_summary,
+    summarize_spans,
+    using_metrics,
+    using_tracer,
+)
 from ..runtime import EXECUTOR_BACKENDS, ParallelRunner, using_runtime
 from .config import get_preset
 from .registry import EXPERIMENTS, get_experiment
@@ -39,8 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment id, or 'all'",
+        choices=sorted(EXPERIMENTS) + ["all", "cache-stats"],
+        help="experiment id, 'all', or 'cache-stats' (print the "
+        "hit/miss/eviction/occupancy stats of a --cache directory and "
+        "exit)",
     )
     parser.add_argument(
         "--preset",
@@ -114,6 +126,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect every shard result before merging (the "
         "pre-streaming path; same bits, higher peak memory)",
     )
+    parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="record a span trace of the run (runner dispatch, per-"
+        "shard submit/run/complete/merge, cache and kernel activity) "
+        "as a JSONL file at PATH, and print the span summary table; "
+        "inspect later with 'repro-trace summarize PATH'.  Tracing "
+        "never changes results or cache keys",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect runtime metrics (counters/histograms across "
+        "runner, cache and kernels) and print the registry at the "
+        "end of the run",
+    )
     return parser
 
 
@@ -149,11 +179,25 @@ class _ShardProgress:
 
     def __init__(self, stream=None) -> None:
         self.stream = sys.stderr if stream is None else stream
+        self._open_line = False
 
     def __call__(self, completed: int, total: int) -> None:
         end = "\n" if completed >= total else ""
         self.stream.write(f"\r[shards {completed}/{total}]{end}")
         self.stream.flush()
+        self._open_line = end == ""
+
+    def close(self) -> None:
+        """Terminate an unfinished progress line.
+
+        The runner calls this on both success and failure paths, so a
+        ``ShardExecutionError`` traceback starts on its own line
+        instead of printing after a half-written ``[shards k/N]``.
+        """
+        if self._open_line:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._open_line = False
 
 
 def _parse_bytes(text: str) -> int:
@@ -213,17 +257,45 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
         raise SystemExit(str(error))
 
 
+def _cache_stats(args) -> int:
+    """The ``cache-stats`` subcommand: report on a cache directory."""
+    if args.cache is None:
+        raise SystemExit("cache-stats requires --cache DIR")
+    from ..runtime import ResultCache
+
+    cache = ResultCache(args.cache)
+    stats = cache.stats()
+    print(f"cache directory: {args.cache}")
+    print(render_cache_stats(stats))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.experiment == "cache-stats":
+        return _cache_stats(args)
     preset = get_preset(args.preset)
     if args.no_system:
         preset = preset.with_system(False)
     keys = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with using_runtime(_build_runtime(args)):
-        for key in keys:
-            print(_run_one(key, preset, args.seed, args.json))
+    tracer = Tracer() if args.trace is not None else None
+    metrics = MetricsRegistry() if args.metrics else None
+    with using_tracer(tracer), using_metrics(metrics):
+        with using_runtime(_build_runtime(args)):
+            for key in keys:
+                print(_run_one(key, preset, args.seed, args.json))
+    if tracer is not None:
+        spans = tracer.spans
+        tracer.write(args.trace)
+        print(render_summary(summarize_spans(spans)))
+        print(
+            f"[trace] wrote {len(spans)} spans to {args.trace}",
+            file=sys.stderr,
+        )
+    if metrics is not None:
+        print(render_metrics(metrics.snapshot()))
     return 0
 
 

@@ -1,0 +1,363 @@
+"""A mergeable metrics registry: counters, gauges, histograms.
+
+The registry mirrors the runtime's :class:`~repro.core.results.MergeAccumulator`
+philosophy: each worker process records into its own registry, ships a
+plain-dict :meth:`MetricsRegistry.snapshot` back with the shard
+payload, and the parent folds snapshots together with
+:func:`merge_snapshots` / :meth:`MetricsRegistry.merge`.  Merging is
+associative and commutative (counters add; histograms add bucket
+counts and sums; gauges keep the max), so fold order — which varies
+with shard completion order — cannot change the reported totals.
+
+Like the tracer, metrics never touch random state and never enter
+cache fingerprints: they observe the run, they do not participate in
+it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "get_metrics",
+    "histogram_quantile",
+    "merge_snapshots",
+    "set_metrics",
+    "using_metrics",
+    "using_worker_metrics",
+]
+
+#: Fixed bucket upper bounds (seconds) for latency histograms —
+#: roughly log-spaced from 100µs to 100s.  Fixed boundaries are what
+#: make histograms mergeable across processes: every worker counts
+#: into the same bins.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count.  Merge: addition."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A point-in-time level.  Merge: maximum (the only associative,
+    commutative choice that keeps "peak concurrency"-style gauges
+    meaningful across workers)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Union[int, float]) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Fixed-boundary bucketed observations.  Merge: elementwise
+    addition of bucket counts plus count/sum.
+
+    ``boundaries`` are inclusive upper bounds; one overflow bucket
+    catches everything beyond the last boundary, so ``len(buckets) ==
+    len(boundaries) + 1``.
+    """
+
+    __slots__ = ("name", "boundaries", "buckets", "count", "sum", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds:
+            raise ValueError(f"histogram {name!r}: no boundaries")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name!r}: boundaries must strictly increase"
+            )
+        self.name = name
+        self.boundaries = bounds
+        self.buckets: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum: Union[int, float] = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: Union[int, float]) -> None:
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self.buckets[index] += 1
+            self.count += 1
+            self.sum += value
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    Getter methods create on first use and return the same instrument
+    thereafter, so instrumented code never has to pre-register::
+
+        metrics.counter("cache.hits").inc()
+        metrics.histogram("shard.wall_seconds").observe(dt)
+
+    Examples
+    --------
+    >>> a, b = MetricsRegistry(), MetricsRegistry()
+    >>> a.counter("jobs").inc(2); b.counter("jobs").inc(3)
+    >>> merged = MetricsRegistry()
+    >>> merged.merge(a.snapshot()); merged.merge(b.snapshot())
+    >>> merged.counter("jobs").value
+    5
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- instruments ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, boundaries)
+            elif instrument.boundaries != tuple(float(b) for b in boundaries):
+                raise ValueError(
+                    f"histogram {name!r} already registered with different "
+                    f"boundaries"
+                )
+            return instrument
+
+    # -- snapshot / merge -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict, picklable copy of every instrument's state."""
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            histograms = {
+                n: {
+                    "boundaries": list(h.boundaries),
+                    "buckets": list(h.buckets),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for n, h in self._histograms.items()
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold one :meth:`snapshot` into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            with gauge._lock:
+                gauge.value = max(gauge.value, value)
+        for name, state in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, state["boundaries"])
+            with histogram._lock:
+                for index, count in enumerate(state["buckets"]):
+                    histogram.buckets[index] += count
+                histogram.count += state["count"]
+                histogram.sum += state["sum"]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})"
+            )
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Fold any number of registry snapshots into one (associative)."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged.snapshot()
+
+
+def histogram_quantile(state: dict, q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile from a snapshot histogram entry.
+
+    Returns the upper boundary of the bucket containing the quantile
+    (the standard bucketed-histogram estimate); None when empty.  The
+    overflow bucket reports the last finite boundary.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = state["count"]
+    if total == 0:
+        return None
+    boundaries = state["boundaries"]
+    rank = q * total
+    seen = 0
+    for index, count in enumerate(state["buckets"]):
+        seen += count
+        if seen >= rank and count:
+            return boundaries[min(index, len(boundaries) - 1)]
+    return boundaries[-1]
+
+
+class NullMetrics:
+    """The disabled registry: instruments that swallow every update.
+
+    A single shared no-op instrument is handed out for every name, so
+    the disabled path allocates nothing.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> "_NullInstrument":
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> "_NullInstrument":
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> "_NullInstrument":
+        return _NULL_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullMetrics()"
+
+
+class _NullInstrument:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+#: The shared disabled registry (the ambient default).
+NULL_METRICS = NullMetrics()
+
+_default_metrics: Union[MetricsRegistry, NullMetrics] = NULL_METRICS
+_thread_override = threading.local()
+
+
+def get_metrics() -> Union[MetricsRegistry, NullMetrics]:
+    """The active registry: thread override, else process default."""
+    metrics = getattr(_thread_override, "metrics", None)
+    return _default_metrics if metrics is None else metrics
+
+
+def set_metrics(metrics: Union[MetricsRegistry, NullMetrics, None]):
+    """Install ``metrics`` (None restores the null registry) as the
+    process default; returns the previous default."""
+    global _default_metrics
+    previous = _default_metrics
+    _default_metrics = NULL_METRICS if metrics is None else metrics
+    return previous
+
+
+@contextlib.contextmanager
+def using_metrics(
+    metrics: Union[MetricsRegistry, NullMetrics, None]
+) -> Iterator[None]:
+    """Scope ``metrics`` as the process default for a ``with`` block."""
+    previous = set_metrics(metrics)
+    try:
+        yield
+    finally:
+        set_metrics(previous)
+
+
+@contextlib.contextmanager
+def using_worker_metrics(
+    metrics: Union[MetricsRegistry, NullMetrics]
+) -> Iterator[None]:
+    """Scope ``metrics`` as *this thread's* registry (see
+    :func:`repro.obs.trace.using_worker_tracer` for why workers need a
+    thread-local override rather than the process default)."""
+    previous = getattr(_thread_override, "metrics", None)
+    _thread_override.metrics = metrics
+    try:
+        yield
+    finally:
+        _thread_override.metrics = previous

@@ -30,6 +30,8 @@ import uuid
 from typing import Optional, Union
 
 from ..core.results import EnsembleResult
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..sim.persistence import load_result, save_result
 
 __all__ = ["ResultCache"]
@@ -107,6 +109,17 @@ class ResultCache:
         Unreadable artifacts count as misses and are evicted so the
         slot can be rewritten.
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Truncated key only: enough to correlate spans with
+            # artifacts, without bloating every trace record.
+            with tracer.span("cache.get", key=key[:12]) as span:
+                result = self._get(key)
+                span.set("hit", result is not None)
+            return result
+        return self._get(key)
+
+    def _get(self, key: str) -> Optional[EnsembleResult]:
         path = self.path_for(key)
         if not path.exists():
             self._count("misses")
@@ -153,6 +166,9 @@ class ResultCache:
     def _count(self, counter: str) -> None:
         with self._stats_lock:
             setattr(self, counter, getattr(self, counter) + 1)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"cache.{counter}").inc()
 
     def put(self, key: str, result: EnsembleResult) -> pathlib.Path:
         """Store ``result`` under ``key``, atomically; returns the path.
@@ -165,6 +181,18 @@ class ResultCache:
         to store the same key each write their own file and the last
         atomic rename wins intact.
         """
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("cache.put", key=key[:12]) as span:
+                path = self._put(key, result)
+                try:
+                    span.set("bytes", path.stat().st_size)
+                except OSError:
+                    pass
+            return path
+        return self._put(key, result)
+
+    def _put(self, key: str, result: EnsembleResult) -> pathlib.Path:
         path = self.path_for(key)
         staging = self.directory / ".tmp"
         staging.mkdir(parents=True, exist_ok=True)
@@ -182,6 +210,13 @@ class ResultCache:
             except OSError:
                 replaced = 0
         os.replace(written, path)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("cache.puts").inc()
+            try:
+                metrics.counter("cache.put_bytes").inc(path.stat().st_size)
+            except OSError:
+                pass
         if self.max_bytes is not None:
             try:
                 added = path.stat().st_size - replaced
@@ -223,6 +258,7 @@ class ResultCache:
             entries.append((stat.st_mtime, stat.st_size, path))
         total = sum(size for _, size, _ in entries)
         if total > self.max_bytes:
+            tracer = get_tracer()
             entries.sort(key=lambda entry: entry[0])
             for _, size, path in entries:
                 if total <= self.max_bytes:
@@ -241,6 +277,13 @@ class ResultCache:
                     continue
                 total -= size
                 self._count("evictions")
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter("cache.evicted_bytes").inc(size)
+                if tracer.enabled:
+                    tracer.event(
+                        "cache.evict", key=path.stem[:12], bytes=size
+                    )
         with self._stats_lock:
             # The scan is ground truth; re-sync the running estimate.
             self._approx_bytes = total

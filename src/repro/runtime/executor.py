@@ -36,6 +36,7 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from .._validation import ensure_positive_int
+from ..obs.trace import get_tracer
 
 __all__ = [
     "EXECUTOR_BACKENDS",
@@ -132,7 +133,10 @@ def _collect(
     """Drain ordered outcomes, firing progress and aggregating failures."""
     results: List[Any] = []
     failures: List[Tuple[int, str, str]] = []
+    tracer = get_tracer()
     for index, (ok, value) in enumerate(outcomes):
+        if tracer.enabled:
+            tracer.event("shard.complete", task=index, ok=ok)
         if ok:
             results.append(value)
         else:
@@ -226,7 +230,17 @@ class SerialExecutor(Executor):
         progress: Optional[ProgressCallback] = None,
     ) -> List[Any]:
         tasks = list(tasks)
-        outcomes = (_guarded_call((fn, task)) for task in tasks)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Serial "submission" is just starting the task; the event
+            # keeps the submit→complete join uniform across backends.
+            outcomes = (
+                (tracer.event("shard.submit", task=index),
+                 _guarded_call((fn, task)))[1]
+                for index, task in enumerate(tasks)
+            )
+        else:
+            outcomes = (_guarded_call((fn, task)) for task in tasks)
         return _collect(outcomes, len(tasks), progress)
 
     def stream(
@@ -238,8 +252,13 @@ class SerialExecutor(Executor):
     ) -> Iterator[StreamItem]:
         """Serial streaming: tasks complete (and yield) in index order,
         so exactly one result is ever in flight."""
+        tracer = get_tracer()
         for index, task in enumerate(list(tasks)):
+            if tracer.enabled:
+                tracer.event("shard.submit", task=index)
             ok, value = _guarded_call((fn, task))
+            if tracer.enabled:
+                tracer.event("shard.complete", task=index, ok=ok)
             yield index, ok, value
 
     def __repr__(self) -> str:
@@ -281,6 +300,12 @@ class MultiprocessingExecutor(Executor):
             return SerialExecutor().map(fn, tasks, progress=progress)
         context = multiprocessing.get_context(self.start_method)
         payloads = [(fn, task) for task in tasks]
+        tracer = get_tracer()
+        if tracer.enabled:
+            # imap hands the whole batch to the pool at once, so every
+            # task is submitted up front.
+            for index in range(len(tasks)):
+                tracer.event("shard.submit", task=index)
         with context.Pool(pool_size) as pool:
             # imap (not imap_unordered): order preservation is what
             # makes merged results independent of the worker count.
@@ -310,9 +335,12 @@ class MultiprocessingExecutor(Executor):
         window = _resolve_window(window, pool_size)
         completions: "queue.SimpleQueue" = queue.SimpleQueue()
         context = multiprocessing.get_context(self.start_method)
+        tracer = get_tracer()
         with context.Pool(pool_size) as pool:
 
             def submit(index: int) -> None:
+                if tracer.enabled:
+                    tracer.event("shard.submit", task=index)
                 pool.apply_async(
                     _guarded_call,
                     ((fn, tasks[index]),),
@@ -348,6 +376,8 @@ class MultiprocessingExecutor(Executor):
             fill()
             for _ in range(len(tasks)):
                 index, (ok, value) = completions.get()
+                if tracer.enabled:
+                    tracer.event("shard.complete", task=index, ok=ok)
                 unyielded.discard(index)
                 fill()
                 yield index, ok, value
@@ -387,6 +417,10 @@ class ThreadExecutor(Executor):
         if pool_size == 1:
             return SerialExecutor().map(fn, tasks, progress=progress)
         payloads = [(fn, task) for task in tasks]
+        tracer = get_tracer()
+        if tracer.enabled:
+            for index in range(len(tasks)):
+                tracer.event("shard.submit", task=index)
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             # Executor.map preserves submission order — the property
             # that makes merged results independent of the pool size.
@@ -414,6 +448,7 @@ class ThreadExecutor(Executor):
             yield from SerialExecutor().stream(fn, tasks)
             return
         window = _resolve_window(window, pool_size)
+        tracer = get_tracer()
         with ThreadPoolExecutor(max_workers=pool_size) as pool:
             pending = {}
             submitted = 0
@@ -426,6 +461,8 @@ class ThreadExecutor(Executor):
                 nonlocal submitted
                 low = min(pending.values(), default=submitted)
                 while submitted < len(tasks) and submitted < low + window:
+                    if tracer.enabled:
+                        tracer.event("shard.submit", task=submitted)
                     future = pool.submit(_guarded_call, (fn, tasks[submitted]))
                     pending[future] = submitted
                     submitted += 1
@@ -437,6 +474,8 @@ class ThreadExecutor(Executor):
                     for future in done:
                         index = pending.pop(future)
                         ok, value = future.result()
+                        if tracer.enabled:
+                            tracer.event("shard.complete", task=index, ok=ok)
                         fill()
                         yield index, ok, value
             finally:

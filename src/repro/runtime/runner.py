@@ -47,6 +47,9 @@ from typing import (
 
 from .._validation import ensure_positive_int
 from ..core.results import EnsembleResult, MergeAccumulator
+from ..obs import ShardEnvelope, ingest_envelope
+from ..obs.metrics import MetricsRegistry, get_metrics, using_worker_metrics
+from ..obs.trace import Tracer, get_tracer, using_worker_tracer
 from ..sim.rng import RandomSource, SeedLike
 from .cache import ResultCache
 from .executor import (
@@ -136,11 +139,33 @@ class _Pending(NamedTuple):
     trials: int  # total trials across the shards (the plan total)
 
 
-def _run_simulation_shard(task: Tuple[SimulationSpec, Shard]) -> EnsembleResult:
-    """Worker entry point: run one chunk of a Monte Carlo ensemble."""
+def _traced_shard(body, spec, shard, index: int, kind: str) -> ShardEnvelope:
+    """Run one shard under a fresh worker-local tracer and registry.
+
+    The worker must not record into a forked copy of the parent's
+    tracer (its buffer dies with the child) nor — on the threads
+    backend — into the parent's live tracer (the shipped spans would
+    then be ingested twice).  A private pair, installed as thread-local
+    overrides so nested kernel/cache/chainsim instrumentation lands in
+    it, sidesteps both; the envelope carries everything home.
+    """
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with using_worker_tracer(tracer), using_worker_metrics(metrics):
+        with tracer.span(
+            "shard.run",
+            task=index,
+            shard=shard.index,
+            trials=shard.trials,
+            kind=kind,
+        ):
+            payload = body(spec, shard)
+    return ShardEnvelope(payload, tracer.drain(), metrics.snapshot())
+
+
+def _simulation_shard_body(spec: SimulationSpec, shard: Shard) -> EnsembleResult:
     from ..sim.engine import MonteCarloEngine
 
-    spec, shard = task
     engine = MonteCarloEngine(
         spec.protocol,
         spec.allocation,
@@ -156,20 +181,45 @@ def _run_simulation_shard(task: Tuple[SimulationSpec, Shard]) -> EnsembleResult:
     )
 
 
-def _run_system_shard(task: Tuple[SystemSpec, Shard]) -> EnsembleResult:
-    """Worker entry point: run one chunk of node-level system repeats.
+def _run_simulation_shard(task) -> Any:
+    """Worker entry point: run one chunk of a Monte Carlo ensemble.
 
-    Calls the experiment's serial path directly — never its public
-    ``run`` — so a forked worker that inherited an ambient runtime
-    cannot recurse into the pool.
+    ``task`` is ``(spec, shard)`` on an untraced dispatch (identical
+    pickle profile to every prior release) or ``(spec, shard,
+    task_index)`` when telemetry is on, in which case the return value
+    is a :class:`~repro.obs.ShardEnvelope` carrying the worker's spans
+    and metrics alongside the result.
     """
-    spec, shard = task
+    if len(task) == 2:
+        spec, shard = task
+        return _simulation_shard_body(spec, shard)
+    spec, shard, index = task
+    return _traced_shard(_simulation_shard_body, spec, shard, index, "sim")
+
+
+def _system_shard_body(spec: SystemSpec, shard: Shard) -> EnsembleResult:
+    # Calls the experiment's serial path directly — never its public
+    # ``run`` — so a forked worker that inherited an ambient runtime
+    # cannot recurse into the pool.
     return spec.experiment._run_serial(
         spec.rounds,
         shard.trials,
         checkpoints=spec.checkpoints,
         seed=RandomSource(shard.seed),
     )
+
+
+def _run_system_shard(task) -> Any:
+    """Worker entry point: run one chunk of node-level system repeats.
+
+    Task shapes and envelope semantics mirror
+    :func:`_run_simulation_shard`.
+    """
+    if len(task) == 2:
+        spec, shard = task
+        return _system_shard_body(spec, shard)
+    spec, shard, index = task
+    return _traced_shard(_system_shard_body, spec, shard, index, "system")
 
 
 class ParallelRunner:
@@ -302,6 +352,7 @@ class ParallelRunner:
             _run_simulation_shard,
             shards,
             stream,
+            span_name="runner.run_many",
         )
 
     def run_system(
@@ -354,6 +405,7 @@ class ParallelRunner:
             _run_system_shard,
             shards,
             stream,
+            span_name="runner.run_system_many",
         )
 
     def _resolve_shards(self, total: int, shards: Optional[int]) -> int:
@@ -373,7 +425,28 @@ class ParallelRunner:
         return min(total, ensure_positive_int("shards", shards))
 
     def _execute_many(
-        self, entries, shard_fn, shards: Optional[int], stream: Optional[bool]
+        self,
+        entries,
+        shard_fn,
+        shards: Optional[int],
+        stream: Optional[bool],
+        span_name: str,
+    ):
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                span_name, specs=len(entries), workers=self.workers
+            ) as root:
+                return self._dispatch(entries, shard_fn, shards, stream, root)
+        return self._dispatch(entries, shard_fn, shards, stream, None)
+
+    def _dispatch(
+        self,
+        entries,
+        shard_fn,
+        shards: Optional[int],
+        stream: Optional[bool],
+        root,
     ):
         merged: List[Optional[EnsembleResult]] = [None] * len(entries)
         tasks: List[Tuple[Any, Shard]] = []
@@ -404,14 +477,40 @@ class ParallelRunner:
                 _Pending(position, key, len(tasks), len(plan), plan.total)
             )
             tasks.extend((spec, shard) for shard in plan)
+        if root is not None:
+            # Traced dispatches widen tasks to (spec, shard, task_index)
+            # so workers can stamp shard.run spans with the index the
+            # executor's submit/complete events carry; untraced
+            # dispatches keep the bare 2-tuples (identical pickle
+            # payloads and worker code path to the untraced runtime).
+            tasks = [
+                (spec, shard, index)
+                for index, (spec, shard) in enumerate(tasks)
+            ]
+            root.set("tasks", len(tasks))
+            root.set("cached_specs", len(entries) - len(pending) - len(duplicates))
         use_stream = self.stream if stream is None else bool(stream)
         # Duck-typed executors predating the streaming protocol only
         # implement map(); fall back to the batch path for them.
         use_stream = use_stream and hasattr(self.executor, "stream")
-        if use_stream and tasks:
-            self._fold_streamed(tasks, pending, shard_fn, merged)
-        else:
-            self._merge_batch(tasks, pending, shard_fn, merged)
+        if root is not None:
+            root.set("stream", use_stream)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("runner.specs").inc(len(entries))
+            metrics.counter("runner.shards_dispatched").inc(len(tasks))
+        try:
+            if use_stream and tasks:
+                self._fold_streamed(tasks, pending, shard_fn, merged)
+            else:
+                self._merge_batch(tasks, pending, shard_fn, merged)
+        finally:
+            # Give line-oriented progress callbacks (e.g. the CLI's
+            # carriage-return shard ticker) a chance to terminate their
+            # output even when a shard failure propagates out.
+            close = getattr(self.progress, "close", None)
+            if close is not None:
+                close()
         for position, original, key in duplicates:
             loaded = self.cache.get(key)
             merged[position] = loaded if loaded is not None else merged[original]
@@ -424,10 +523,18 @@ class ParallelRunner:
         except ShardExecutionError as error:
             self._salvage_completed(pending, error)
             raise
+        # Traced workers wrap payloads in ShardEnvelopes; unwrapping
+        # folds their spans/metrics into the ambient telemetry (a bare
+        # payload passes through untouched).
+        results = [ingest_envelope(result) for result in results]
+        tracer = get_tracer()
         for entry in pending:
             result = EnsembleResult.merge(
                 results[entry.start:entry.start + entry.count]
             )
+            if tracer.enabled:
+                for index in range(entry.start, entry.start + entry.count):
+                    tracer.event("shard.merge", task=index)
             if entry.key is not None:
                 self.cache.put(entry.key, result)
             merged[entry.position] = result
@@ -460,16 +567,25 @@ class ParallelRunner:
         poisoned = [False] * len(pending)
         failures: List[Tuple[int, str, str]] = []
         buffer = ReorderBuffer(len(tasks))
+        tracer = get_tracer()
+        metrics = get_metrics()
         folded = 0
         for index, ok, payload in self.executor.stream(shard_fn, tasks):
             for task_index, (item_ok, item) in buffer.push(index, (ok, payload)):
                 slot = owner[task_index]
                 entry = pending[slot]
+                if item_ok:
+                    # Traced workers ship telemetry with the payload;
+                    # unwrap (a bare payload passes through) before it
+                    # reaches the accumulator.
+                    item = ingest_envelope(item)
                 if not item_ok:
                     error, tb = item
                     failures.append((task_index, error, tb))
                     poisoned[slot] = True
                     accumulators[slot] = None  # free the partial fold
+                    if metrics.enabled:
+                        metrics.counter("runner.shards_failed").inc()
                 elif not poisoned[slot]:
                     accumulator = accumulators[slot]
                     if accumulator is None:
@@ -480,6 +596,8 @@ class ParallelRunner:
                     accumulator.add(item)
                 remaining[slot] -= 1
                 folded += 1
+                if tracer.enabled:
+                    tracer.event("shard.merge", task=task_index, ok=item_ok)
                 if self.progress is not None:
                     self.progress(folded, len(tasks))
                 if remaining[slot] == 0 and not poisoned[slot]:
@@ -513,7 +631,14 @@ class ParallelRunner:
         untouched by the failure before the error propagates.
         """
         results = error.results
-        if results is None or self.cache is None:
+        if results is None:
+            return
+        # Unwrap (and ingest) any telemetry envelopes among the drained
+        # results — the completed shards' spans survive the failure and
+        # callers catching the error see bare payloads.
+        results = [ingest_envelope(result) for result in results]
+        error.results = results
+        if self.cache is None:
             return
         failed = {index for index, _, _ in error.failures}
         for entry in pending:

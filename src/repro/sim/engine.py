@@ -23,6 +23,7 @@ import numpy as np
 from .._validation import ensure_positive_int
 from ..core.miners import Allocation
 from ..core.results import EnsembleResult
+from ..obs.trace import get_tracer
 from ..protocols.base import EnsembleState, IncentiveProtocol
 from .checkpoints import linear_checkpoints, validate_checkpoints
 from .events import GameEvent, plan_segments
@@ -170,6 +171,17 @@ class MonteCarloEngine:
         """Advance one segment through the configured kernel path."""
         if self.kernel == "batched":
             batched_advance(self.protocol, state, rounds, rng)
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span(
+                "kernel.advance",
+                mode="naive",
+                protocol=self.protocol.name,
+                rounds=rounds,
+                trials=self.trials,
+            ):
+                self.protocol.advance_many(state, rounds, rng)
         else:
             self.protocol.advance_many(state, rounds, rng)
 

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple, Type
 import numpy as np
 
 from .._validation import ensure_positive_int
+from ..obs.trace import get_tracer
 from ..protocols.base import (
     EnsembleState,
     IncentiveProtocol,
@@ -229,12 +230,35 @@ def batched_advance(
     if chunk is not None:
         chunk = ensure_positive_int("chunk", chunk)
     kernel = find_kernel(protocol)
+    tracer = get_tracer()
     if kernel is None:
-        protocol.advance_many(state, rounds, rng)
+        if tracer.enabled:
+            # Unregistered protocol: the segment runs the per-round
+            # loop, so report it on the naive side of the time split.
+            with tracer.span(
+                "kernel.advance",
+                mode="naive",
+                protocol=protocol.name,
+                rounds=rounds,
+                trials=state.trials,
+            ):
+                protocol.advance_many(state, rounds, rng)
+        else:
+            protocol.advance_many(state, rounds, rng)
         return
     if state.scratch is None:
         state.scratch = ScratchBuffers()
-    kernel(protocol, state, rounds, rng, state.scratch, chunk)
+    if tracer.enabled:
+        with tracer.span(
+            "kernel.advance",
+            mode="batched",
+            protocol=protocol.name,
+            rounds=rounds,
+            trials=state.trials,
+        ):
+            kernel(protocol, state, rounds, rng, state.scratch, chunk)
+    else:
+        kernel(protocol, state, rounds, rng, state.scratch, chunk)
 
 
 # -- closed-form protocols ----------------------------------------------------

@@ -137,3 +137,81 @@ class TestCLI:
         ])
         assert code == 0
         assert "Figure 2" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    def test_trace_writes_valid_jsonl_and_prints_summary(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import validate_trace
+
+        trace_path = tmp_path / "run.jsonl"
+        code = main([
+            "fig2", "--preset", "ci", "--workers", "2",
+            "--trace", str(trace_path),
+        ])
+        assert code == 0
+        assert validate_trace(trace_path) == []
+        output = capsys.readouterr().out
+        assert "trace summary" in output
+        assert "runner.run_many" in output
+
+    def test_metrics_prints_registry(self, tmp_path, capsys):
+        code = main([
+            "fig2", "--preset", "ci", "--workers", "2",
+            "--cache", str(tmp_path / "cache"), "--metrics",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "metrics" in output
+        assert "runner.shards_dispatched" in output
+
+    def test_trace_does_not_change_cache_keys(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main([
+            "fig2", "--preset", "ci", "--cache", str(cache),
+        ]) == 0
+        entries = sorted(p.name for p in cache.glob("*.npz"))
+        assert main([
+            "fig2", "--preset", "ci", "--cache", str(cache),
+            "--trace", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        assert sorted(p.name for p in cache.glob("*.npz")) == entries
+        capsys.readouterr()
+
+    def test_telemetry_is_not_ambient_after_main_returns(self, tmp_path):
+        from repro.obs import NULL_METRICS, NULL_TRACER, get_metrics, get_tracer
+
+        assert main([
+            "fig2", "--preset", "ci",
+            "--trace", str(tmp_path / "t.jsonl"), "--metrics",
+        ]) == 0
+        assert get_tracer() is NULL_TRACER
+        assert get_metrics() is NULL_METRICS
+
+
+class TestCacheStatsCLI:
+    def test_cache_stats_requires_cache(self):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(["cache-stats"])
+
+    def test_cache_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["fig2", "--preset", "ci", "--cache", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache-stats", "--cache", str(cache)]) == 0
+        output = capsys.readouterr().out
+        assert "cache stats" in output
+        assert "entries" in output
+        assert "hits" in output
+        assert "evictions" in output
+        # fig2's grid stores one artifact per spec.
+        entry_line = next(
+            line for line in output.splitlines() if "entries" in line
+        )
+        assert int(entry_line.split()[-1]) > 0
+
+    def test_cache_stats_on_empty_directory(self, tmp_path, capsys):
+        assert main(["cache-stats", "--cache", str(tmp_path / "fresh")]) == 0
+        output = capsys.readouterr().out
+        assert "entries" in output

@@ -1,0 +1,254 @@
+"""Tests for the metrics registry: instruments, snapshots, merging."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    get_metrics,
+    histogram_quantile,
+    merge_snapshots,
+    set_metrics,
+    using_metrics,
+    using_worker_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            MetricsRegistry().counter("jobs").inc(-1)
+
+    def test_counter_is_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+    def test_histogram_buckets_observations(self):
+        histogram = MetricsRegistry().histogram("lat", boundaries=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            histogram.observe(value)
+        assert histogram.buckets == [1, 1, 1]  # two bins + overflow
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(101.0)
+
+    def test_histogram_boundary_is_inclusive(self):
+        histogram = MetricsRegistry().histogram("lat", boundaries=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.buckets == [1, 0, 0]
+
+    def test_histogram_rejects_unsorted_boundaries(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            MetricsRegistry().histogram("lat", boundaries=(2.0, 1.0))
+
+    def test_histogram_rejects_empty_boundaries(self):
+        with pytest.raises(ValueError, match="no boundaries"):
+            MetricsRegistry().histogram("lat", boundaries=())
+
+    def test_histogram_boundary_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", boundaries=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different"):
+            registry.histogram("lat", boundaries=(1.0, 3.0))
+
+    def test_default_boundaries_are_strictly_increasing(self):
+        assert all(
+            a < b
+            for a, b in zip(DEFAULT_LATENCY_BUCKETS, DEFAULT_LATENCY_BUCKETS[1:])
+        )
+
+    def test_threaded_updates_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+
+        def work():
+            counter = registry.counter("n")
+            histogram = registry.histogram("h", boundaries=(0.5,))
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("n").value == 4000
+        assert registry.histogram("h", boundaries=(0.5,)).count == 4000
+
+
+class TestSnapshotMerge:
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 7}
+        assert snapshot["histograms"]["h"] == {
+            "boundaries": [1.0], "buckets": [1, 0], "count": 1, "sum": 0.5,
+        }
+
+    def test_merge_adds_counters_and_histograms_and_maxes_gauges(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        a.gauge("g").set(9)
+        b.gauge("g").set(4)
+        a.histogram("h", boundaries=(1.0,)).observe(0.5)
+        b.histogram("h", boundaries=(1.0,)).observe(2.5)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        assert merged.counter("c").value == 5
+        assert merged.gauge("g").value == 9
+        histogram = merged.histogram("h", boundaries=(1.0,))
+        assert histogram.buckets == [1, 1]
+        assert histogram.count == 2
+
+    def test_merge_rejects_mismatched_histogram_boundaries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", boundaries=(1.0,)).observe(0.5)
+        b.histogram("h", boundaries=(2.0,)).observe(0.5)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        with pytest.raises(ValueError, match="different"):
+            merged.merge(b.snapshot())
+
+    def test_merge_snapshots_helper(self):
+        registries = [MetricsRegistry() for _ in range(3)]
+        for index, registry in enumerate(registries):
+            registry.counter("c").inc(index + 1)
+        merged = merge_snapshots(*(r.snapshot() for r in registries))
+        assert merged["counters"]["c"] == 6
+
+    # Integer values only: float addition is not bitwise associative,
+    # and the property under test is the *merge structure*, not IEEE
+    # rounding.  Workers count events (ints) for exactly this reason.
+    _snapshots = st.lists(
+        st.builds(
+            lambda c, g, buckets: {
+                "counters": {"x": c},
+                "gauges": {"g": g},
+                "histograms": {
+                    "h": {
+                        "boundaries": [1.0, 2.0],
+                        "buckets": buckets,
+                        "count": sum(buckets),
+                        "sum": sum(buckets),  # integer stand-in
+                    }
+                },
+            },
+            st.integers(min_value=0, max_value=10**6),
+            st.integers(min_value=-100, max_value=100),
+            st.lists(
+                st.integers(min_value=0, max_value=1000),
+                min_size=3, max_size=3,
+            ),
+        ),
+        min_size=3,
+        max_size=3,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(_snapshots)
+    def test_merge_is_associative(self, snaps):
+        left = merge_snapshots(merge_snapshots(snaps[0], snaps[1]), snaps[2])
+        right = merge_snapshots(snaps[0], merge_snapshots(snaps[1], snaps[2]))
+        assert left == right
+
+    @settings(max_examples=50, deadline=None)
+    @given(_snapshots)
+    def test_merge_is_commutative(self, snaps):
+        forward = merge_snapshots(*snaps)
+        backward = merge_snapshots(*reversed(snaps))
+        assert forward == backward
+
+
+class TestHistogramQuantile:
+    def test_quantile_returns_bucket_boundary(self):
+        histogram = Histogram("h", boundaries=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        state = MetricsRegistry()
+        state.histogram("h", boundaries=(1.0, 2.0, 4.0))
+        snapshot = {
+            "boundaries": list(histogram.boundaries),
+            "buckets": list(histogram.buckets),
+            "count": histogram.count,
+            "sum": histogram.sum,
+        }
+        assert histogram_quantile(snapshot, 0.5) == 2.0
+        assert histogram_quantile(snapshot, 1.0) == 4.0
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        snapshot = {
+            "boundaries": [1.0], "buckets": [0, 0], "count": 0, "sum": 0,
+        }
+        assert histogram_quantile(snapshot, 0.5) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        snapshot = {
+            "boundaries": [1.0], "buckets": [1, 0], "count": 1, "sum": 0.5,
+        }
+        with pytest.raises(ValueError, match="quantile"):
+            histogram_quantile(snapshot, 1.5)
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        assert NULL_METRICS.enabled is False
+        NULL_METRICS.counter("c").inc()
+        NULL_METRICS.gauge("g").set(3)
+        NULL_METRICS.histogram("h").observe(1.0)
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_instruments_are_a_shared_singleton(self):
+        null = NullMetrics()
+        assert null.counter("a") is null.histogram("b")
+
+
+class TestAmbientMetrics:
+    def test_default_is_null(self):
+        assert get_metrics() is NULL_METRICS
+
+    def test_using_metrics_scopes(self):
+        registry = MetricsRegistry()
+        with using_metrics(registry):
+            assert get_metrics() is registry
+        assert get_metrics() is NULL_METRICS
+
+    def test_set_none_restores_null(self):
+        set_metrics(MetricsRegistry())
+        set_metrics(None)
+        assert get_metrics() is NULL_METRICS
+
+    def test_worker_override_wins_over_default(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        with using_metrics(parent):
+            with using_worker_metrics(worker):
+                assert get_metrics() is worker
+            assert get_metrics() is parent

@@ -1,0 +1,329 @@
+"""Tests for the span tracer: recording, nesting, files, ambient access."""
+
+import json
+import os
+import pickle
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    using_tracer,
+    using_worker_tracer,
+    validate_trace,
+    write_trace,
+)
+
+
+class TestTracer:
+    def test_span_records_name_duration_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("work", grid="fig3", cells=4):
+            pass
+        (span,) = tracer.spans
+        assert span["name"] == "work"
+        assert span["attrs"] == {"grid": "fig3", "cells": 4}
+        assert span["dur"] >= 0
+        assert span["ts"] > 0
+        assert span["pid"] == os.getpid()
+        assert span["parent_id"] is None
+
+    def test_nesting_links_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.spans
+        assert a["parent_id"] == b["parent_id"] == outer["span_id"]
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        ids = [s["span_id"] for s in tracer.spans]
+        assert len(set(ids)) == 5
+
+    def test_event_is_zero_duration(self):
+        tracer = Tracer()
+        tracer.event("tick", task=3)
+        (event,) = tracer.spans
+        assert event["dur"] == 0.0
+        assert event["attrs"] == {"task": 3}
+
+    def test_event_nests_under_the_active_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            tracer.event("tick")
+        tick, outer = tracer.spans
+        assert tick["parent_id"] == outer["span_id"]
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s["name"] for s in tracer.spans] == ["doomed"]
+
+    def test_set_adds_mid_span_attributes(self):
+        tracer = Tracer()
+        with tracer.span("lookup") as span:
+            span.set("hit", True)
+        assert tracer.spans[0]["attrs"] == {"hit": True}
+
+    def test_drain_empties_the_buffer(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.spans == []
+        assert len(tracer) == 0
+
+    def test_ingest_adopts_foreign_records(self):
+        tracer, worker = Tracer(), Tracer()
+        with worker.span("remote"):
+            pass
+        tracer.ingest(worker.drain())
+        assert [s["name"] for s in tracer.spans] == ["remote"]
+
+    def test_span_records_pickle(self):
+        tracer = Tracer()
+        with tracer.span("s", task=1):
+            pass
+        assert pickle.loads(pickle.dumps(tracer.spans)) == tracer.spans
+
+    def test_threaded_spans_nest_per_thread(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with tracer.span(f"outer-{label}"):
+                barrier.wait()
+                with tracer.span(f"inner-{label}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = {s["name"]: s for s in tracer.spans}
+        assert len(spans) == 4
+        for label in range(2):
+            assert (
+                spans[f"inner-{label}"]["parent_id"]
+                == spans[f"outer-{label}"]["span_id"]
+            )
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", attr=1) as span:
+            span.set("x", 1)
+        NULL_TRACER.event("tick")
+        NULL_TRACER.record({"name": "x"})
+        NULL_TRACER.ingest([{"name": "x"}])
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.drain() == []
+        assert len(NULL_TRACER) == 0
+
+    def test_span_returns_a_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_disabled_span_allocates_nothing_on_the_hot_path(self):
+        # The zero-allocation contract: the guarded idiom instrumented
+        # code uses — check ``enabled``, skip the span entirely — must
+        # not allocate, and even an unguarded attr-less span call must
+        # not, because NullTracer hands back a shared singleton.
+        tracer = NullTracer()
+
+        def guarded_hot_path():
+            if tracer.enabled:
+                with tracer.span("hot", detail="never built"):
+                    pass
+
+        def unguarded_hot_path():
+            with tracer.span("hot"):
+                pass
+
+        import repro.obs.trace as trace_module
+
+        # Any per-span allocation (a dict for attrs, a fresh span
+        # object) would be attributed to trace.py; filtering to that
+        # file screens out tracemalloc's own bookkeeping noise.
+        filters = [tracemalloc.Filter(True, trace_module.__file__)]
+        for hot_path in (guarded_hot_path, unguarded_hot_path):
+            hot_path()  # warm up any lazy caches
+            tracemalloc.start()
+            try:
+                before = tracemalloc.take_snapshot().filter_traces(filters)
+                for _ in range(10_000):
+                    hot_path()
+                after = tracemalloc.take_snapshot().filter_traces(filters)
+            finally:
+                tracemalloc.stop()
+            growth = sum(
+                stat.size_diff
+                for stat in after.compare_to(before, "lineno")
+            )
+            assert growth == 0
+
+
+class TestAmbientTracer:
+    def test_default_is_the_null_tracer(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_and_restore(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_none_restores_null(self):
+        set_tracer(Tracer())
+        set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_using_tracer_scopes(self):
+        tracer = Tracer()
+        with using_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_using_tracer_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with using_tracer(Tracer()):
+                raise RuntimeError("boom")
+        assert get_tracer() is NULL_TRACER
+
+    def test_worker_override_is_thread_local(self):
+        parent = Tracer()
+        worker = Tracer()
+        seen = {}
+
+        def thread_body():
+            seen["in_thread"] = get_tracer()
+
+        with using_tracer(parent):
+            with using_worker_tracer(worker):
+                assert get_tracer() is worker
+                thread = threading.Thread(target=thread_body)
+                thread.start()
+                thread.join()
+            assert get_tracer() is parent
+        # Another thread never sees this thread's override.
+        assert seen["in_thread"] is parent
+
+
+class TestTraceFiles:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        with tracer.span("outer", grid="fig2"):
+            with tracer.span("inner"):
+                pass
+        return tracer
+
+    def test_write_read_roundtrip(self, tmp_path):
+        tracer = self._sample_tracer()
+        path = tracer.write(tmp_path / "trace.jsonl")
+        header, spans = read_trace(path)
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["spans"] == 2
+        assert spans == tracer.spans
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        path = write_trace(tmp_path / "deep" / "dir" / "t.jsonl", [])
+        assert path.exists()
+
+    def test_validate_accepts_a_real_trace(self, tmp_path):
+        path = self._sample_tracer().write(tmp_path / "t.jsonl")
+        assert validate_trace(path) == []
+
+    def test_validate_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"}\n')
+        errors = validate_trace(path)
+        assert any("schema header" in e for e in errors)
+
+    def test_validate_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert validate_trace(path) != []
+
+    def test_validate_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA})
+            + "\n"
+            + json.dumps({"name": "x"})
+            + "\n"
+        )
+        errors = validate_trace(path)
+        assert any("missing field" in e for e in errors)
+
+    def test_validate_rejects_wrong_types(self, tmp_path):
+        record = {
+            "name": "x", "span_id": "not-an-int", "parent_id": None,
+            "ts": 1.0, "dur": 0.0, "pid": 1, "tid": 1, "attrs": {},
+        }
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA}) + "\n"
+            + json.dumps(record) + "\n"
+        )
+        errors = validate_trace(path)
+        assert any("span_id" in e for e in errors)
+
+    def test_validate_rejects_negative_duration(self, tmp_path):
+        record = {
+            "name": "x", "span_id": 1, "parent_id": None,
+            "ts": 1.0, "dur": -0.5, "pid": 1, "tid": 1, "attrs": {},
+        }
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA}) + "\n"
+            + json.dumps(record) + "\n"
+        )
+        errors = validate_trace(path)
+        assert any("negative duration" in e for e in errors)
+
+    def test_validate_rejects_non_json_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps({"schema": TRACE_SCHEMA}) + "\nnot json\n"
+        )
+        errors = validate_trace(path)
+        assert any("not JSON" in e for e in errors)
+
+    def test_read_trace_raises_on_invalid(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("nonsense\n")
+        with pytest.raises(ValueError, match="invalid trace file"):
+            read_trace(path)

@@ -1,6 +1,6 @@
 """Parallel + cached experiments with ``repro.runtime``.
 
-Demonstrates the eight ways to use the runtime layer:
+Demonstrates the nine ways to use the runtime layer:
 
 1. the high-level :class:`MiningGame` knobs (``workers=``, ``cache=``),
 2. an explicit :class:`ParallelRunner` over a :class:`SimulationSpec`
@@ -40,7 +40,23 @@ Demonstrates the eight ways to use the runtime layer:
    kernel batched-vs-naive timings — summarized as a table, written
    as JSONL for ``repro-trace summarize``.  Telemetry never enters
    cache fingerprints and never touches random state: traced and
-   untraced runs are bit-identical and share cache artifacts.
+   untraced runs are bit-identical and share cache artifacts,
+
+9. fault-tolerant execution (the CLI's ``--retries N``,
+   ``--shard-timeout SECONDS`` and ``--resume``): shards are
+   idempotent pure functions of the plan, so transient failures —
+   flaky task errors, hung workers, crashed worker processes — are
+   retried with deterministic backoff, per-shard deadlines abandon or
+   kill stuck workers (respawning dead pools, degrading to serial with
+   a loud warning only when a pool is unrecoverable), and a JSONL
+   journal next to the cache checkpoints per-spec shard completion so
+   a killed grid resumes recomputing only what was never journaled.
+   Doctrine: retry/timeout/resume knobs never enter cache
+   fingerprints, and backoff jitter is SHA-256-derived (no RNG) — a
+   run that survived faults is bit-identical to one that never saw
+   any, and shares its cache artifacts.  The seeded
+   :class:`ChaosExecutor` proves it by injecting deterministic fault
+   schedules in the differential suite.
 
 How the knobs compose: the kernel attacks per-round *depth*, workers
 attack ensemble *breadth*.  Start with ``workers=1`` + the default
@@ -279,6 +295,45 @@ def main() -> None:
           f"{kernel_calls} kernel calls, "
           f"{metrics.counter('runner.shards_dispatched').value} shards "
           f"dispatched, bit-identical to untraced = {identical}")
+
+    # 9. Fault tolerance: wrap an executor in seeded chaos — injected
+    #    transient failures, corrupt payloads, delays — and a retry
+    #    policy absorbs every fault while the merged bits stay
+    #    identical to a run that never failed.  The journal makes a
+    #    killed grid resumable: rerunning with the same cache+journal
+    #    recomputes only unjournaled shards.  This is what
+    #    `repro-experiments fig2 --workers 4 --cache DIR --retries 3
+    #    --shard-timeout 300 --resume` does.
+    from repro.runtime import ChaosExecutor, ChaosSchedule, make_executor
+
+    with tempfile.TemporaryDirectory() as root:
+        schedule = ChaosSchedule(
+            seed=11, state_dir=os.path.join(root, "chaos-state"),
+            fail_rate=0.4, corrupt_rate=0.3, max_faults_per_task=2,
+        )
+        inner = make_executor(WORKERS, retry=4)
+        chaotic_runner = ParallelRunner(
+            executor=ChaosExecutor(inner, schedule),
+            cache=os.path.join(root, "cache"),
+            journal=os.path.join(root, "cache", "journal.jsonl"),
+        )
+        survived = chaotic_runner.run(spec, shards=4)
+        identical = np.array_equal(
+            survived.reward_fractions, serial.reward_fractions
+        )
+        print(f"chaos run (fail_rate=0.4, corrupt_rate=0.3): "
+              f"{chaotic_runner.shards_retried} retries absorbed, "
+              f"bit-identical to the clean run = {identical}")
+
+        resumed_runner = ParallelRunner(
+            workers=1,
+            cache=os.path.join(root, "cache"),
+            journal=os.path.join(root, "cache", "journal.jsonl"),
+        )
+        resumed_runner.run(spec, shards=4)
+        print(f"rerun with the same cache+journal: "
+              f"{resumed_runner.cache.hits} cache hit(s) — "
+              f"nothing recomputed")
 
 
 if __name__ == "__main__":

@@ -127,6 +127,36 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-streaming path; same bits, higher peak memory)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failed shard up to N total attempts with "
+        "exponential backoff (transient failures only: worker "
+        "timeouts, crashes, broken pools, I/O errors).  Shards are "
+        "idempotent pure functions of the plan, so retried runs stay "
+        "bit-identical and retry knobs never enter cache keys.  "
+        "Requires --workers > 1 or --cache",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard deadline: a worker that exceeds it is "
+        "abandoned (threads) or its pool respawned (processes) and "
+        "the shard counted as a transient failure, retryable under "
+        "--retries.  Requires --workers > 1 or --cache",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal per-spec shard completion to "
+        "<cache>/journal.jsonl and, on rerun, recompute only "
+        "unjournaled shards — resuming a killed grid.  Requires "
+        "--cache; never changes results or cache keys",
+    )
+    parser.add_argument(
         "--trace",
         type=pathlib.Path,
         default=None,
@@ -175,17 +205,35 @@ class _ShardProgress:
     of *merged* shards — the plan-order fold cursor — not dispatched
     ones, so ``k`` can never overshoot ``N`` when a shard fails
     mid-grid and the completed specs are salvaged.
+
+    Retried shards never double-count: ``k`` advances once per shard's
+    *final* outcome, while retries accumulate in a separate tally that
+    is appended to the line (``[shards k/N, retries R]``) once any
+    shard has been retried.
     """
 
     def __init__(self, stream=None) -> None:
         self.stream = sys.stderr if stream is None else stream
         self._open_line = False
+        self.retries = 0
+        self._last = (0, 0)
 
-    def __call__(self, completed: int, total: int) -> None:
+    def _render(self, completed: int, total: int) -> None:
+        tail = f", retries {self.retries}" if self.retries else ""
         end = "\n" if completed >= total else ""
-        self.stream.write(f"\r[shards {completed}/{total}]{end}")
+        self.stream.write(f"\r[shards {completed}/{total}{tail}]{end}")
         self.stream.flush()
         self._open_line = end == ""
+        self._last = (completed, total)
+
+    def __call__(self, completed: int, total: int) -> None:
+        self._render(completed, total)
+
+    def retry(self, task: int, attempt: int) -> None:
+        """Tally one shard retry (called by the runner's retry listener)."""
+        self.retries += 1
+        if self._open_line:
+            self._render(*self._last)
 
     def close(self) -> None:
         """Terminate an unfinished progress line.
@@ -228,6 +276,14 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
     if args.cache_budget is not None and args.cache is None:
         raise SystemExit("--cache-budget requires --cache")
+    if args.retries is not None and args.retries < 1:
+        raise SystemExit(f"--retries must be >= 1, got {args.retries}")
+    if args.shard_timeout is not None and args.shard_timeout <= 0:
+        raise SystemExit(
+            f"--shard-timeout must be positive, got {args.shard_timeout}"
+        )
+    if args.resume and args.cache is None:
+        raise SystemExit("--resume requires --cache")
     if args.workers == 1 and args.cache is None:
         if args.backend is not None:
             # Mirror MiningGame.simulate: raise rather than silently
@@ -239,12 +295,24 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             raise SystemExit(
                 "--stream/--no-stream requires --workers > 1 or --cache"
             )
+        if args.retries is not None:
+            raise SystemExit("--retries requires --workers > 1 or --cache")
+        if args.shard_timeout is not None:
+            raise SystemExit(
+                "--shard-timeout requires --workers > 1 or --cache"
+            )
         return None
     cache = args.cache
     if cache is not None and args.cache_budget is not None:
         from ..runtime import ResultCache
 
         cache = ResultCache(cache, max_bytes=_parse_bytes(args.cache_budget))
+    journal = None
+    if args.resume:
+        cache_dir = getattr(cache, "directory", None) or pathlib.Path(
+            args.cache
+        )
+        journal = pathlib.Path(cache_dir) / "journal.jsonl"
     try:
         return ParallelRunner(
             workers=args.workers,
@@ -252,6 +320,9 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             backend=args.backend or "processes",
             progress=_ShardProgress(),
             stream=True if args.stream is None else args.stream,
+            retry=args.retries,
+            timeout=args.shard_timeout,
+            journal=journal,
         )
     except ValueError as error:
         raise SystemExit(str(error))

@@ -120,12 +120,17 @@ def summarize_spans(spans: Sequence[dict]) -> dict:
         shards["queue_wait"] = _phase_stats([max(0.0, w) for w in queue_waits])
     if merge_lags:
         shards["merge_lag"] = _phase_stats([max(0.0, w) for w in merge_lags])
+    retries = by_name.get("shard.retry", ())
     if submits or completes:
+        # The task-keyed dicts above collapse repeat attempts of one
+        # shard, so retried shards never double-count in submitted /
+        # completed; retries are tallied separately from their events.
         shards["submitted"] = len(submits)
         shards["completed"] = len(completes)
         shards["failed"] = sum(
             1 for s in completes.values() if not s["attrs"].get("ok", True)
         )
+        shards["retries"] = len(retries)
     if shards:
         summary["shards"] = shards
 
@@ -229,7 +234,8 @@ def render_summary(summary: dict) -> str:
         if "submitted" in shards:
             lines.append(
                 f"  submitted={shards['submitted']} "
-                f"completed={shards['completed']} failed={shards['failed']}"
+                f"completed={shards['completed']} failed={shards['failed']} "
+                f"retries={shards.get('retries', 0)}"
             )
         rows = [("phase", "count", "p50", "p90", "p99", "max", "total")]
         for phase in ("wall", "queue_wait", "merge_lag"):

@@ -32,9 +32,26 @@ context
     An ambient default runtime consulted by the experiment layer so
     ``--workers``/``--cache`` flags reach every figure without
     threading arguments through each config.
+faults
+    :class:`RetryPolicy` and the fault vocabulary: shards are
+    idempotent pure functions of the plan, so transient failures are
+    retried with deterministic backoff, hung workers are abandoned or
+    killed under a per-shard ``timeout``, dead pools respawn, and
+    unrecoverable pools degrade to serial with a loud warning — all
+    with bit-identical results.
+journal
+    :class:`RunJournal` — the JSONL sidecar that checkpoints per-spec
+    shard completion (artifacts live in the cache), so an interrupted
+    grid resumes (CLI ``--resume``) recomputing only unjournaled
+    shards.
+chaos
+    :class:`ChaosExecutor` — seeded, deterministic fault injection
+    (failures, delays, hangs, corrupt payloads, worker crashes) for
+    the differential suites proving all of the above changes no bits.
 """
 
 from .cache import ResultCache
+from .chaos import ChaosExecutor, ChaosSchedule
 from .context import get_default_runtime, set_default_runtime, using_runtime
 from .executor import (
     EXECUTOR_BACKENDS,
@@ -45,6 +62,15 @@ from .executor import (
     ThreadExecutor,
     make_executor,
 )
+from .faults import (
+    PoolDegradedWarning,
+    RetryPolicy,
+    ShardFailure,
+    TransientShardError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from .journal import RunJournal, shard_fingerprint
 from ..core.results import MergeAccumulator
 from .runner import ParallelRunner, ReorderBuffer
 from .sharding import DEFAULT_SHARD_COUNT, Shard, ShardPlan, plan_shards, split_evenly
@@ -52,6 +78,16 @@ from .spec import SimulationSpec, SystemSpec, spec_fingerprint
 
 __all__ = [
     "ResultCache",
+    "ChaosExecutor",
+    "ChaosSchedule",
+    "PoolDegradedWarning",
+    "RetryPolicy",
+    "RunJournal",
+    "ShardFailure",
+    "TransientShardError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "shard_fingerprint",
     "get_default_runtime",
     "set_default_runtime",
     "using_runtime",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import os
 import pathlib
 import threading
+import time
 import uuid
 from typing import Optional, Union
 
@@ -37,6 +38,27 @@ from ..sim.persistence import load_result, save_result
 __all__ = ["ResultCache"]
 
 PathLike = Union[str, pathlib.Path]
+
+#: Staging files older than this are leftovers of killed writers and are
+#: swept on cache construction.  Generous on purpose: a *live* writer's
+#: staging file is seconds old, so an hour can only catch the dead.
+_STALE_STAGING_SECONDS = 3600.0
+
+
+def _fsync_path(path: PathLike) -> None:
+    """Best-effort fsync of a file or directory (directory fsync is what
+    makes an atomic rename durable on POSIX; both are advisory on
+    platforms that refuse)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class ResultCache:
@@ -93,6 +115,28 @@ class ResultCache:
         # Counter updates must be atomic: a thread-backend run hits
         # get/put from every pool thread at once.
         self._stats_lock = threading.Lock()
+        # Writers killed mid-put leave files in .tmp that no rename will
+        # ever claim; sweep the clearly-dead ones (by age, so a live
+        # concurrent writer's staging is untouched).  Staging files are
+        # never served and never counted by the byte budget either way
+        # — _scan_bytes only globs the cache root.
+        self._sweep_stale_staging()
+
+    def _sweep_stale_staging(self) -> int:
+        """Delete staging leftovers older than the staleness horizon."""
+        staging = self.directory / ".tmp"
+        if not staging.is_dir():
+            return 0
+        removed = 0
+        cutoff = time.time() - _STALE_STAGING_SECONDS
+        for path in staging.iterdir():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     def path_for(self, key: str) -> pathlib.Path:
         """The artifact path a fingerprint maps to."""
@@ -201,6 +245,12 @@ class ResultCache:
             f"-{uuid.uuid4().hex[:8]}.npz"
         )
         written = save_result(result, temporary)
+        # Durability before visibility: the staging bytes are fsync'd
+        # before the rename publishes them, and the directory after, so
+        # a crash (or power cut) can never leave a *visible* artifact
+        # with unwritten tails — a half-staged file just stays in .tmp,
+        # invisible to readers and the byte budget, until swept.
+        _fsync_path(written)
         replaced = 0
         if self.max_bytes is not None:
             try:
@@ -210,6 +260,7 @@ class ResultCache:
             except OSError:
                 replaced = 0
         os.replace(written, path)
+        _fsync_path(self.directory)
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("cache.puts").inc()
@@ -287,6 +338,30 @@ class ResultCache:
         with self._stats_lock:
             # The scan is ground truth; re-sync the running estimate.
             self._approx_bytes = total
+
+    def discard(self, key: str) -> bool:
+        """Remove the artifact stored under ``key``; True if one existed.
+
+        Not counted as an eviction — this is deliberate removal (the
+        runner drops per-shard resume checkpoints once their spec's
+        merged artifact lands), not budget pressure.
+        """
+        path = self.path_for(key)
+        size = 0
+        if self.max_bytes is not None:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+        try:
+            path.unlink()
+        except OSError:
+            return False
+        if size:
+            with self._stats_lock:
+                if self._approx_bytes is not None:
+                    self._approx_bytes = max(0, self._approx_bytes - size)
+        return True
 
     def stats(self) -> dict:
         """Counters and occupancy: hits, misses, evictions, entries, bytes."""

@@ -1,0 +1,256 @@
+"""Fault-tolerance primitives: retry policies and failure payloads.
+
+Every shard is an idempotent pure function of ``(spec, shard)`` — the
+shard plan is deterministic and the merge is plan-ordered — so a shard
+that failed transiently can simply run again and produce the *same
+bytes* it would have produced the first time.  This module supplies
+the vocabulary the executors use to exploit that:
+
+:class:`RetryPolicy`
+    How many attempts a shard gets, how long to back off between them
+    (exponential with *deterministic* jitter — the backoff schedule is
+    a pure function of the task index and attempt number, never of
+    random state), and which exception types count as transient.
+:class:`ShardFailure`
+    The payload a failed shard travels home as.  It unpacks as the
+    historical ``(error_repr, traceback_text)`` pair, but additionally
+    carries the exception's class lineage (so retry classification
+    survives the process boundary, where the exception object itself
+    cannot) and the number of attempts consumed.
+:class:`TransientShardError`
+    A marker base class task code (and the chaos harness) can raise to
+    say "this failure is safe to retry".
+
+Doctrine: retry, timeout and resume knobs are *execution* knobs — they
+never enter cache fingerprints, and the backoff jitter never touches
+NumPy or :mod:`random` state, so a retried run is bit-identical to a
+clean one and shares its cache artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "DEFAULT_RETRYABLE",
+    "PoolDegradedWarning",
+    "RetryPolicy",
+    "ShardFailure",
+    "TransientShardError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "exception_lineage",
+]
+
+
+class TransientShardError(RuntimeError):
+    """A shard failure that is safe to retry.
+
+    Raise this (or a subclass) from task code to mark a failure as
+    transient; the default :class:`RetryPolicy` classifies it as
+    retryable by name, so the classification survives pickling across
+    the process boundary.
+    """
+
+
+class WorkerTimeoutError(TransientShardError):
+    """A shard exceeded its per-shard deadline and was abandoned."""
+
+
+class WorkerCrashError(TransientShardError):
+    """A worker process died (crash, kill, OOM) while shards were in
+    flight; the shards it may have held are retried."""
+
+
+class PoolDegradedWarning(RuntimeWarning):
+    """An executor pool became unrecoverable and the remaining shards
+    are running serially in-process.  Results stay bit-identical; only
+    the parallelism is lost."""
+
+
+def exception_lineage(error: BaseException) -> Tuple[str, ...]:
+    """The class names of ``error``'s MRO, most-derived first.
+
+    Exception *objects* do not reliably cross process boundaries, but
+    their class names do — the lineage rides in the
+    :class:`ShardFailure` payload so the parent can classify a child's
+    failure without importing (or even having) the raising class.
+    """
+    return tuple(
+        cls.__name__ for cls in type(error).__mro__ if cls is not object
+    )
+
+
+class ShardFailure(tuple):
+    """A failed shard's payload: ``(error_repr, traceback_text)`` plus
+    retry metadata.
+
+    Subclasses ``tuple`` so every existing consumer that unpacks
+    ``error, tb = payload`` keeps working unchanged; the extra
+    attributes carry what retry classification needs:
+
+    ``exc_types``
+        Class-name lineage of the raising exception (see
+        :func:`exception_lineage`); empty for synthetic failures whose
+        type is unknown.
+    ``attempts``
+        Attempts consumed when this became the final outcome (1 when
+        retries were off or the failure was not retryable).
+    """
+
+    exc_types: Tuple[str, ...]
+    attempts: int
+
+    def __new__(
+        cls,
+        error: str,
+        traceback_text: str,
+        exc_types: Tuple[str, ...] = (),
+        attempts: int = 1,
+    ) -> "ShardFailure":
+        self = super().__new__(cls, (error, traceback_text))
+        self.exc_types = tuple(exc_types)
+        self.attempts = int(attempts)
+        return self
+
+    @classmethod
+    def from_exception(cls, error: BaseException, traceback_text: str) -> "ShardFailure":
+        return cls(repr(error), traceback_text, exception_lineage(error))
+
+    @property
+    def error(self) -> str:
+        return self[0]
+
+    @property
+    def traceback(self) -> str:
+        return self[1]
+
+    def with_attempts(self, attempts: int) -> "ShardFailure":
+        """A copy stamped with the number of attempts consumed."""
+        return ShardFailure(self[0], self[1], self.exc_types, attempts)
+
+    def __reduce__(self):
+        # tuple.__reduce__ would rebuild a plain 2-tuple and drop the
+        # metadata; rebuild through the constructor instead so the
+        # lineage survives pickling back from worker processes.
+        return (ShardFailure, (self[0], self[1], self.exc_types, self.attempts))
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardFailure({self[0]!r}, exc_types={self.exc_types!r}, "
+            f"attempts={self.attempts})"
+        )
+
+
+#: Exception class names the default policy treats as transient: the
+#: explicit markers of this module plus the I/O failures a worker pool
+#: can hit (broken pipes to dead workers, truncated result streams).
+DEFAULT_RETRYABLE = (
+    "TransientShardError",
+    "WorkerTimeoutError",
+    "WorkerCrashError",
+    "BrokenProcessPool",
+    "ConnectionError",
+    "BrokenPipeError",
+    "EOFError",
+    "OSError",
+    "TimeoutError",
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed shards are retried.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts a shard gets (1 = no retries).
+    base_delay:
+        Backoff before the second attempt, in seconds.
+    backoff:
+        Multiplier applied per further attempt (exponential backoff).
+    max_delay:
+        Ceiling on any single backoff sleep.
+    jitter:
+        Fractional jitter amplitude: each delay is scaled by a factor
+        in ``[1 - jitter, 1 + jitter]`` derived *deterministically*
+        from the task index and attempt number (SHA-256, not a RNG —
+        retrying never perturbs random state, which is what keeps
+        retried runs bit-identical).
+    retryable:
+        Exception class names (matched against the failure's carried
+        lineage, so base classes match subclasses) that count as
+        transient.  ``("Exception",)`` retries everything.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter=0.0)
+    >>> policy.delay(task=0, attempt=1)
+    0.1
+    >>> policy.delay(task=0, attempt=2)
+    0.2
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    retryable: Tuple[str, ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        object.__setattr__(self, "retryable", tuple(self.retryable))
+
+    def allows(self, attempt: int) -> bool:
+        """Whether another attempt is available after ``attempt`` failed."""
+        return attempt < self.max_attempts
+
+    def is_retryable(self, failure) -> bool:
+        """Classify a failure payload (or exception) as transient.
+
+        Prefers the carried class lineage; failing that, falls back to
+        the leading class name of the repr, so even plain
+        ``(error_repr, tb)`` tuples from duck-typed executors classify.
+        """
+        if isinstance(failure, BaseException):
+            lineage = exception_lineage(failure)
+        else:
+            lineage = getattr(failure, "exc_types", ())
+            if not lineage:
+                text = ""
+                if isinstance(failure, tuple) and failure:
+                    text = str(failure[0])
+                lineage = (text.split("(", 1)[0].strip(),)
+        wanted = set(self.retryable)
+        return any(name in wanted for name in lineage)
+
+    def delay(self, task: int, attempt: int) -> float:
+        """Backoff before retrying ``task`` after failed ``attempt`` (1-based).
+
+        A pure function of ``(task, attempt)``: exponential growth with
+        SHA-256-derived jitter, so concurrent retries decorrelate
+        without consuming randomness anywhere.
+        """
+        raw = min(
+            self.max_delay, self.base_delay * self.backoff ** (attempt - 1)
+        )
+        if self.jitter <= 0.0 or raw <= 0.0:
+            return raw
+        digest = hashlib.sha256(
+            f"repro-retry:{task}:{attempt}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return raw * (1.0 + self.jitter * (2.0 * fraction - 1.0))

@@ -1,0 +1,213 @@
+"""Run journal: the sidecar that makes interrupted grids resumable.
+
+A :class:`RunJournal` is an append-only JSONL file (living next to the
+cache directory by convention — ``<cache>/journal.jsonl`` for the CLI's
+``--resume``) recording, per spec fingerprint, which plan shards have
+completed and which specs have fully merged.  Combined with the
+content-addressed :class:`~repro.runtime.cache.ResultCache` — where the
+streaming runner stores each completed shard's artifact under a
+:func:`shard_fingerprint` key until the spec finalizes — a killed
+``repro-experiments`` invocation resumes by loading the journaled
+shards from the cache and dispatching only the rest.
+
+Design points:
+
+* **Append-only, fsync'd per record.**  A ``kill -9`` can at worst
+  leave one torn trailing line, which :meth:`RunJournal.load` skips —
+  the corresponding shard simply recomputes.  Nothing ever rewrites
+  earlier records, so the journal can not be "half updated".
+* **Advisory, never authoritative.**  Every journal entry is checked
+  against the cache at load time: a journaled shard whose artifact was
+  evicted (or corrupted) is recomputed.  Deleting the journal is always
+  safe — it only costs recomputation.
+* **Keyed by fingerprints.**  Spec fingerprints cover every physics
+  knob and the shard count, so a journal can never resume the wrong
+  work; retry/timeout/resume knobs never enter fingerprints (doctrine),
+  so a resumed run shares its artifacts with an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pathlib
+import threading
+from typing import Dict, Optional, Set, Union
+
+__all__ = ["RunJournal", "shard_fingerprint"]
+
+JOURNAL_SCHEMA = "repro-journal/v1"
+
+PathLike = Union[str, pathlib.Path]
+
+
+def shard_fingerprint(spec_key: str, ordinal: int) -> str:
+    """The cache key a spec's ``ordinal``-th plan shard is stored under.
+
+    Derived from the spec fingerprint (which covers the shard count),
+    so shard artifacts can never collide across specs or across plans
+    of different granularity.
+    """
+    if ordinal < 0:
+        raise ValueError(f"ordinal must be non-negative, got {ordinal}")
+    digest = hashlib.sha256(
+        f"{spec_key}:shard:{ordinal}".encode()
+    ).hexdigest()
+    return digest
+
+
+class RunJournal:
+    """Append-only JSONL record of shard and spec completions.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with a schema header line) on first
+        append.  An existing file is loaded leniently — torn or
+        malformed trailing lines are ignored, not fatal.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     journal = RunJournal(os.path.join(root, "journal.jsonl"))
+    ...     journal.record_shard("abc", 0, "shard-key-0")
+    ...     journal.record_spec("def")
+    ...     reloaded = RunJournal(os.path.join(root, "journal.jsonl"))
+    ...     (reloaded.completed_shards("abc"), reloaded.is_complete("def"))
+    ({0: 'shard-key-0'}, True)
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        self._handle: Optional[io.TextIOWrapper] = None
+        self._shards: Dict[str, Dict[int, str]] = {}
+        self._specs: Set[str] = set()
+        self.recovered_records = 0
+        self.skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # -- reading ---------------------------------------------------------
+
+    def _load(self) -> None:
+        """Replay an existing journal, tolerating torn trailing lines."""
+        try:
+            with open(self.path, "r") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # A writer killed mid-append leaves at most one
+                        # torn line; skipping it only costs recomputing
+                        # that shard.
+                        self.skipped_lines += 1
+                        continue
+                    self._replay(record)
+        except OSError:
+            return
+
+    def _replay(self, record) -> None:
+        if not isinstance(record, dict):
+            self.skipped_lines += 1
+            return
+        kind = record.get("e")
+        if kind == "shard":
+            spec = record.get("spec")
+            ordinal = record.get("shard")
+            key = record.get("key")
+            if (
+                isinstance(spec, str)
+                and isinstance(ordinal, int)
+                and ordinal >= 0
+                and isinstance(key, str)
+            ):
+                self._shards.setdefault(spec, {})[ordinal] = key
+                self.recovered_records += 1
+            else:
+                self.skipped_lines += 1
+        elif kind == "spec":
+            spec = record.get("spec")
+            if isinstance(spec, str):
+                self._specs.add(spec)
+                self.recovered_records += 1
+            else:
+                self.skipped_lines += 1
+        elif kind != "header":
+            self.skipped_lines += 1
+
+    def completed_shards(self, spec_key: str) -> Dict[int, str]:
+        """``{plan_ordinal: shard_cache_key}`` journaled for a spec."""
+        with self._lock:
+            return dict(self._shards.get(spec_key, {}))
+
+    def is_complete(self, spec_key: str) -> bool:
+        """Whether the spec's merged artifact was journaled as stored."""
+        with self._lock:
+            return spec_key in self._specs
+
+    # -- writing ---------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """Append one record, flushed and fsync'd so it survives a kill."""
+        with self._lock:
+            if self._handle is None or self._handle.closed:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                fresh = not self.path.exists() or self.path.stat().st_size == 0
+                self._handle = open(self.path, "a")
+                if fresh:
+                    header = json.dumps(
+                        {"e": "header", "schema": JOURNAL_SCHEMA}
+                    )
+                    self._handle.write(header + "\n")
+            self._handle.write(json.dumps(record) + "\n")
+            self._handle.flush()
+            try:
+                os.fsync(self._handle.fileno())
+            except OSError:
+                pass
+
+    def record_shard(self, spec_key: str, ordinal: int, shard_key: str) -> None:
+        """Journal one completed shard (its artifact is in the cache)."""
+        self._append(
+            {"e": "shard", "spec": spec_key, "shard": ordinal, "key": shard_key}
+        )
+        with self._lock:
+            self._shards.setdefault(spec_key, {})[ordinal] = shard_key
+
+    def record_spec(self, spec_key: str) -> None:
+        """Journal a fully merged spec (its artifact is in the cache)."""
+        self._append({"e": "spec", "spec": spec_key})
+        with self._lock:
+            self._specs.add(spec_key)
+            # Shard records for a finished spec are dead weight for
+            # resume purposes; dropping the in-memory copy keeps
+            # long-lived journals from pinning every shard key.
+            self._shards.pop(spec_key, None)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None and not self._handle.closed:
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            shards = sum(len(v) for v in self._shards.values())
+            specs = len(self._specs)
+        return (
+            f"RunJournal({str(self.path)!r}, shards={shards}, "
+            f"specs={specs})"
+        )

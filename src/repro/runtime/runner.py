@@ -56,8 +56,12 @@ from .executor import (
     Executor,
     ProgressCallback,
     ShardExecutionError,
+    _failure_triple,
+    _format_exception,
     make_executor,
 )
+from .faults import RetryPolicy
+from .journal import RunJournal, shard_fingerprint
 from .sharding import DEFAULT_SHARD_COUNT, Shard, plan_shards
 from .spec import SimulationSpec, SystemSpec, spec_fingerprint
 
@@ -129,14 +133,22 @@ class ReorderBuffer:
 
 
 class _Pending(NamedTuple):
-    """One uncached spec of a dispatch: where its shards live in the
-    task list and where its merged result goes."""
+    """One uncached spec of a dispatch: where its dispatched shards live
+    in the task list, which plan ordinals they map to, and where its
+    merged result goes.  With a journal, shards recovered from a prior
+    (interrupted) run ride along as ``preloaded`` and are *not*
+    dispatched — ``ordinals`` maps each dispatched task offset back to
+    its plan ordinal so the merge interleaves both sources in plan
+    order."""
 
     position: int  # slot in the caller's result list
     key: Optional[str]  # cache fingerprint, None when caching is off
-    start: int  # first task index of this spec's shards
-    count: int  # number of shards
+    start: int  # first task index of this spec's dispatched shards
+    count: int  # number of dispatched shards
     trials: int  # total trials across the shards (the plan total)
+    shards: int  # total shards in the plan (count + preloaded)
+    ordinals: Tuple[int, ...]  # dispatched offset -> plan ordinal
+    preloaded: Tuple[Tuple[int, Any], ...]  # (ordinal, result) recovered
 
 
 def _traced_shard(body, spec, shard, index: int, kind: str) -> ShardEnvelope:
@@ -262,6 +274,26 @@ class ParallelRunner:
         **bit-identical** to the batch ``EnsembleResult.merge`` (and
         hits the same cache entries).  ``stream=False`` keeps the
         original collect-then-merge path.
+    retry:
+        Optional :class:`~repro.runtime.faults.RetryPolicy` (or an int
+        shorthand for ``RetryPolicy(max_attempts=n)``): transiently
+        failing shards are re-run with deterministic backoff before a
+        failure is reported.  Shards are pure functions of the plan, so
+        retried runs stay bit-identical.  Only valid when the runner
+        builds its own executor; configure a custom executor directly.
+    timeout:
+        Optional per-shard deadline in seconds (pool backends only):
+        hung workers are abandoned or killed, the failure classifies as
+        a retryable :class:`~repro.runtime.faults.WorkerTimeoutError`,
+        and an unrecoverable pool degrades to serial with a warning.
+    journal:
+        A :class:`~repro.runtime.journal.RunJournal` (or a path to
+        one); requires a cache.  Completed shards are checkpointed as
+        cache artifacts and journaled as they fold, so an interrupted
+        grid resumes — recomputing only unjournaled shards — by
+        re-running with the same journal.  None of ``retry``,
+        ``timeout`` or ``journal`` enters cache fingerprints: a
+        fault-tolerant run shares its artifacts with a plain one.
 
     Examples
     --------
@@ -285,19 +317,58 @@ class ParallelRunner:
         executor: Optional[Executor] = None,
         backend: str = "processes",
         stream: bool = True,
+        retry: Union[RetryPolicy, int, None] = None,
+        timeout: Optional[float] = None,
+        journal: Union[RunJournal, str, pathlib.Path, None] = None,
     ) -> None:
+        if executor is not None and (retry is not None or timeout is not None):
+            raise ValueError(
+                "retry/timeout configure the runner-built executor; with "
+                "a custom executor, set them on the executor itself "
+                "(e.g. via make_executor)"
+            )
         self.executor = (
             executor
             if executor is not None
-            else make_executor(workers, backend=backend)
+            else make_executor(workers, backend=backend, retry=retry,
+                               timeout=timeout)
         )
         if cache is None or isinstance(cache, ResultCache):
             self.cache = cache
         else:
             self.cache = ResultCache(cache)
+        if journal is None or isinstance(journal, RunJournal):
+            self.journal = journal
+        else:
+            self.journal = RunJournal(journal)
+        if self.journal is not None and self.cache is None:
+            raise ValueError(
+                "journal requires a cache: resume checkpoints are stored "
+                "as cache artifacts"
+            )
         self.default_shards = shards
         self.progress = progress
         self.stream = bool(stream)
+        #: Retry attempts consumed across this runner's dispatches.
+        self.shards_retried = 0
+        #: Shards recovered from journal checkpoints instead of dispatched.
+        self.shards_resumed = 0
+        try:
+            # Tally retries (and forward them to progress callbacks that
+            # care) without ever touching the per-shard completion
+            # counts — retried shards must not double-count.
+            self.executor.retry_listener = self._on_retry
+        except AttributeError:
+            pass  # duck-typed executor without the knob: no tally
+
+    def _on_retry(self, index: int, attempt: int) -> None:
+        self.shards_retried += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("runner.shards_retried").inc()
+        note = getattr(self.progress, "retry", None)
+        if note is not None:
+            note(index, attempt)
 
     @property
     def workers(self) -> int:
@@ -453,11 +524,14 @@ class ParallelRunner:
         pending: List[_Pending] = []
         first_pending: dict = {}
         duplicates: List[Tuple[int, int, str]] = []
+        metrics = get_metrics()
         for position, (spec, total) in enumerate(entries):
             plan = plan_shards(
                 total, spec.seed_sequence, self._resolve_shards(total, shards)
             )
             key = None
+            preloaded: Tuple[Tuple[int, Any], ...] = ()
+            ordinals: Tuple[int, ...] = tuple(range(len(plan)))
             if self.cache is not None:
                 key = spec_fingerprint(spec, shards=len(plan))
                 if key in first_pending:
@@ -472,11 +546,51 @@ class ParallelRunner:
                 if cached is not None:
                     merged[position] = cached
                     continue
+                if self.journal is not None:
+                    # Resume: shards an interrupted run journaled load
+                    # from their checkpoint artifacts instead of
+                    # dispatching.  The journal is advisory — a
+                    # journaled shard whose artifact was evicted (the
+                    # get counts a miss) simply recomputes.
+                    recovered: Dict[int, Any] = {}
+                    journaled = self.journal.completed_shards(key)
+                    for ordinal, shard_key in journaled.items():
+                        if not 0 <= ordinal < len(plan):
+                            continue
+                        part = self.cache.get(shard_key)
+                        if part is not None:
+                            recovered[ordinal] = part
+                    if recovered:
+                        preloaded = tuple(sorted(recovered.items()))
+                        ordinals = tuple(
+                            o for o in range(len(plan)) if o not in recovered
+                        )
+                        self.shards_resumed += len(recovered)
+                        if metrics.enabled:
+                            metrics.counter("runner.shards_resumed").inc(
+                                len(recovered)
+                            )
+                    if not ordinals:
+                        # Every shard was journaled: finalize without
+                        # dispatching anything.
+                        result = EnsembleResult.merge(
+                            [part for _, part in preloaded]
+                        )
+                        self.cache.put(key, result)
+                        self.journal.record_spec(key)
+                        for ordinal in range(len(plan)):
+                            self.cache.discard(shard_fingerprint(key, ordinal))
+                        merged[position] = result
+                        continue
                 first_pending[key] = position
+            shard_list = list(plan)
             pending.append(
-                _Pending(position, key, len(tasks), len(plan), plan.total)
+                _Pending(
+                    position, key, len(tasks), len(ordinals), plan.total,
+                    len(plan), ordinals, preloaded,
+                )
             )
-            tasks.extend((spec, shard) for shard in plan)
+            tasks.extend((spec, shard_list[ordinal]) for ordinal in ordinals)
         if root is not None:
             # Traced dispatches widen tasks to (spec, shard, task_index)
             # so workers can stamp shard.run spans with the index the
@@ -495,7 +609,6 @@ class ParallelRunner:
         use_stream = use_stream and hasattr(self.executor, "stream")
         if root is not None:
             root.set("stream", use_stream)
-        metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("runner.specs").inc(len(entries))
             metrics.counter("runner.shards_dispatched").inc(len(tasks))
@@ -529,15 +642,36 @@ class ParallelRunner:
         results = [ingest_envelope(result) for result in results]
         tracer = get_tracer()
         for entry in pending:
+            parts = dict(entry.preloaded)
+            for offset in range(entry.count):
+                parts[entry.ordinals[offset]] = results[entry.start + offset]
             result = EnsembleResult.merge(
-                results[entry.start:entry.start + entry.count]
+                [parts[ordinal] for ordinal in range(entry.shards)]
             )
             if tracer.enabled:
                 for index in range(entry.start, entry.start + entry.count):
                     tracer.event("shard.merge", task=index)
             if entry.key is not None:
                 self.cache.put(entry.key, result)
+                self._journal_spec_done(entry)
             merged[entry.position] = result
+
+    def _journal_shard(self, entry: _Pending, ordinal: int, part) -> None:
+        """Checkpoint one completed shard for resume: artifact + record."""
+        if self.journal is None or entry.key is None:
+            return
+        shard_key = shard_fingerprint(entry.key, ordinal)
+        self.cache.put(shard_key, part)
+        self.journal.record_shard(entry.key, ordinal, shard_key)
+
+    def _journal_spec_done(self, entry: _Pending) -> None:
+        """Journal a finalized spec and drop its shard checkpoints (the
+        merged artifact supersedes them)."""
+        if self.journal is None or entry.key is None:
+            return
+        self.journal.record_spec(entry.key)
+        for ordinal in range(entry.shards):
+            self.cache.discard(shard_fingerprint(entry.key, ordinal))
 
     def _fold_streamed(self, tasks, pending, shard_fn, merged) -> None:
         """Fold shard results in plan order as they complete.
@@ -556,56 +690,110 @@ class ParallelRunner:
         discards completed work (the same salvage guarantee the batch
         path implements after the fact).  Progress fires once per
         *merged* shard, in plan order, and therefore cannot overshoot
-        the dispatch total when shards fail.
+        the dispatch total when shards fail — and counts each shard's
+        final outcome exactly once, however many retry attempts it
+        took.
+
+        With a journal, shards recovered from a prior run (``entry
+        .preloaded``) interleave with dispatched completions at their
+        plan ordinals, and every fresh shard is checkpointed (artifact
+        + journal record) the moment it arrives — including shards of
+        specs already poisoned by a failure, so an aborted grid leaves
+        the maximum behind for ``--resume``.
         """
         owner: Dict[int, int] = {}
         for slot, entry in enumerate(pending):
             for index in range(entry.start, entry.start + entry.count):
                 owner[index] = slot
         accumulators: List[Optional[MergeAccumulator]] = [None] * len(pending)
-        remaining = [entry.count for entry in pending]
+        # Per-slot plan-order fold state: `cursors` is the next ordinal
+        # to fold, `staged` maps ordinal -> result for parts that cannot
+        # fold yet (journal preloads ahead of the dispatched cursor).
+        cursors = [0] * len(pending)
+        staged: List[Dict[int, Any]] = [
+            dict(entry.preloaded) for entry in pending
+        ]
         poisoned = [False] * len(pending)
         failures: List[Tuple[int, str, str]] = []
         buffer = ReorderBuffer(len(tasks))
         tracer = get_tracer()
         metrics = get_metrics()
         folded = 0
+
+        def poison(slot: int, task_index: int, error: Exception) -> None:
+            failures.append((
+                task_index,
+                repr(error),
+                _format_exception(error),
+            ))
+            poisoned[slot] = True
+            accumulators[slot] = None
+            staged[slot].clear()
+
+        def advance(slot: int, task_index: int) -> None:
+            """Fold every consumable staged part; finalize when done."""
+            entry = pending[slot]
+            while not poisoned[slot] and cursors[slot] in staged[slot]:
+                part = staged[slot].pop(cursors[slot])
+                accumulator = accumulators[slot]
+                if accumulator is None:
+                    accumulator = MergeAccumulator(
+                        expected_trials=entry.trials
+                    )
+                    accumulators[slot] = accumulator
+                try:
+                    accumulator.add(part)
+                except Exception as error:  # noqa: BLE001 - poisoned, re-raised
+                    # A malformed payload (e.g. from a duck-typed
+                    # executor) must fail its spec, not crash the whole
+                    # fold loop mid-grid.
+                    poison(slot, task_index, error)
+                    return
+                cursors[slot] += 1
+            if cursors[slot] == entry.shards and not poisoned[slot]:
+                result = accumulators[slot].result()
+                accumulators[slot] = None
+                if entry.key is not None:
+                    self.cache.put(entry.key, result)
+                    self._journal_spec_done(entry)
+                merged[entry.position] = result
+
+        for slot in range(len(pending)):
+            # A resumed spec may already be able to fold its leading
+            # preloaded shards; folding them up front keeps the staging
+            # dict (and peak memory) bounded by the reorder window.
+            if staged[slot]:
+                advance(slot, pending[slot].start)
         for index, ok, payload in self.executor.stream(shard_fn, tasks):
             for task_index, (item_ok, item) in buffer.push(index, (ok, payload)):
                 slot = owner[task_index]
                 entry = pending[slot]
+                ordinal = entry.ordinals[task_index - entry.start]
                 if item_ok:
                     # Traced workers ship telemetry with the payload;
                     # unwrap (a bare payload passes through) before it
                     # reaches the accumulator.
                     item = ingest_envelope(item)
                 if not item_ok:
-                    error, tb = item
-                    failures.append((task_index, error, tb))
+                    failures.append(_failure_triple(task_index, item))
                     poisoned[slot] = True
                     accumulators[slot] = None  # free the partial fold
+                    staged[slot].clear()
                     if metrics.enabled:
                         metrics.counter("runner.shards_failed").inc()
-                elif not poisoned[slot]:
-                    accumulator = accumulators[slot]
-                    if accumulator is None:
-                        accumulator = MergeAccumulator(
-                            expected_trials=entry.trials
-                        )
-                        accumulators[slot] = accumulator
-                    accumulator.add(item)
-                remaining[slot] -= 1
+                else:
+                    # Checkpoint before folding: even shards of a spec
+                    # that already failed are worth journaling — resume
+                    # will not recompute them.
+                    self._journal_shard(entry, ordinal, item)
+                    if not poisoned[slot]:
+                        staged[slot][ordinal] = item
+                        advance(slot, task_index)
                 folded += 1
                 if tracer.enabled:
                     tracer.event("shard.merge", task=task_index, ok=item_ok)
                 if self.progress is not None:
                     self.progress(folded, len(tasks))
-                if remaining[slot] == 0 and not poisoned[slot]:
-                    result = accumulators[slot].result()
-                    accumulators[slot] = None
-                    if entry.key is not None:
-                        self.cache.put(entry.key, result)
-                    merged[entry.position] = result
         if not buffer.complete:
             # A custom stream() that drops tasks instead of yielding
             # them as failures would otherwise surface as silent None
@@ -642,16 +830,32 @@ class ParallelRunner:
             return
         failed = {index for index, _, _ in error.failures}
         for entry in pending:
-            if entry.key is None or any(
-                i in failed for i in range(entry.start, entry.start + entry.count)
-            ):
+            if entry.key is None:
                 continue
+            indices = range(entry.start, entry.start + entry.count)
+            if any(i in failed for i in indices):
+                # The spec itself failed, but its completed shards are
+                # still resume currency: checkpoint them so --resume
+                # recomputes only what actually failed.
+                if self.journal is not None:
+                    for offset, task_index in enumerate(indices):
+                        part = results[task_index]
+                        if task_index in failed or part is None:
+                            continue
+                        self._journal_shard(
+                            entry, entry.ordinals[offset], part
+                        )
+                continue
+            parts = dict(entry.preloaded)
+            for offset, task_index in enumerate(indices):
+                parts[entry.ordinals[offset]] = results[task_index]
             self.cache.put(
                 entry.key,
                 EnsembleResult.merge(
-                    results[entry.start:entry.start + entry.count]
+                    [parts[ordinal] for ordinal in range(entry.shards)]
                 ),
             )
+            self._journal_spec_done(entry)
 
     def __repr__(self) -> str:
         return (

@@ -139,6 +139,90 @@ class TestCLI:
         assert "Figure 2" in capsys.readouterr().out
 
 
+class TestFaultToleranceCLI:
+    def test_retry_and_timeout_flags_flow_into_the_runner(self, tmp_path):
+        from repro.experiments.runner import _build_runtime
+
+        args = build_parser().parse_args([
+            "fig1", "--preset", "ci", "--workers", "2",
+            "--retries", "4", "--shard-timeout", "2.5",
+        ])
+        runner = _build_runtime(args)
+        assert runner.executor.retry.max_attempts == 4
+        assert runner.executor.timeout == 2.5
+
+    def test_fault_flags_require_runtime(self):
+        with pytest.raises(SystemExit, match="requires --workers"):
+            main(["fig1", "--preset", "ci", "--retries", "3"])
+        with pytest.raises(SystemExit, match="requires --workers"):
+            main(["fig1", "--preset", "ci", "--shard-timeout", "5"])
+
+    def test_fault_flag_validation(self, tmp_path):
+        with pytest.raises(SystemExit, match="--retries must be"):
+            main(["fig1", "--preset", "ci", "--workers", "2",
+                  "--retries", "0"])
+        with pytest.raises(SystemExit, match="--shard-timeout must be"):
+            main(["fig1", "--preset", "ci", "--workers", "2",
+                  "--shard-timeout", "-1"])
+
+    def test_resume_requires_cache(self):
+        with pytest.raises(SystemExit, match="--resume requires --cache"):
+            main(["fig1", "--preset", "ci", "--workers", "2", "--resume"])
+
+    def test_resume_places_the_journal_beside_the_cache(self, tmp_path):
+        from repro.experiments.runner import _build_runtime
+        from repro.runtime import RunJournal
+
+        cache_dir = tmp_path / "cache"
+        args = build_parser().parse_args([
+            "fig1", "--preset", "ci", "--cache", str(cache_dir), "--resume",
+        ])
+        runner = _build_runtime(args)
+        assert isinstance(runner.journal, RunJournal)
+        assert runner.journal.path == cache_dir / "journal.jsonl"
+
+    def test_main_runs_with_retries_and_resume(self, tmp_path, capsys):
+        code = main([
+            "fig2", "--preset", "ci", "--workers", "2",
+            "--cache", str(tmp_path / "cache"), "--retries", "3", "--resume",
+        ])
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out
+        assert (tmp_path / "cache" / "journal.jsonl").exists()
+
+    def test_shard_progress_renders_a_retry_tally(self):
+        import io
+
+        from repro.experiments.runner import _ShardProgress
+
+        sink = io.StringIO()
+        progress = _ShardProgress(stream=sink)
+        progress(1, 4)
+        assert "[shards 1/4]" in sink.getvalue()
+        progress.retry(0, 1)
+        progress.retry(2, 1)
+        progress(2, 4)
+        progress(3, 4)
+        progress(4, 4)
+        lines = sink.getvalue().split("\r")
+        # The tally appears once retries happen, and the completion
+        # count never double-counts a retried shard.
+        assert lines[-1] == "[shards 4/4, retries 2]\n"
+        assert "[shards 5/4" not in sink.getvalue()
+
+    def test_shard_progress_without_retries_keeps_the_old_line(self):
+        import io
+
+        from repro.experiments.runner import _ShardProgress
+
+        sink = io.StringIO()
+        progress = _ShardProgress(stream=sink)
+        progress(1, 2)
+        progress(2, 2)
+        assert "retries" not in sink.getvalue()
+        assert sink.getvalue().endswith("[shards 2/2]\n")
+
+
 class TestTelemetryCLI:
     def test_trace_writes_valid_jsonl_and_prints_summary(
         self, tmp_path, capsys

@@ -97,6 +97,23 @@ class TestSummarizeSpans:
         ]
         assert summarize_spans(spans)["shards"]["failed"] == 1
 
+    def test_retried_shards_tally_without_double_counting(self):
+        # Shard 0 is submitted twice (a retry) but must count once in
+        # submitted/completed; the retry lands in its own tally.
+        spans = [
+            _span("shard.submit", ts=0.0, task=0, attempt=1),
+            _span("shard.complete", ts=1.0, task=0, ok=False),
+            _span("shard.retry", ts=1.0, task=0, attempt=1),
+            _span("shard.submit", ts=1.1, task=0, attempt=2),
+            _span("shard.complete", ts=2.0, task=0, ok=True),
+            _span("shard.submit", ts=0.0, task=1, attempt=1),
+            _span("shard.complete", ts=1.0, task=1, ok=True),
+        ]
+        shards = summarize_spans(spans)["shards"]
+        assert shards["submitted"] == 2
+        assert shards["completed"] == 2
+        assert shards["retries"] == 1
+
     def test_negative_cross_process_deltas_clamp_to_zero(self):
         spans = [
             _span("shard.submit", ts=5.0, task=0),
@@ -161,6 +178,14 @@ class TestRendering:
         for token in ("runner.run_many", "shards", "wall", "queue_wait",
                       "cache", "kernel", "batched"):
             assert token in text
+
+    def test_render_summary_shows_the_retry_tally(self):
+        spans = _shard_phase_spans() + [
+            _span("shard.retry", task=0, attempt=1),
+            _span("shard.retry", task=0, attempt=2),
+        ]
+        text = render_summary(summarize_spans(spans))
+        assert "retries=2" in text
 
     def test_render_metrics_lists_all_instrument_kinds(self):
         snapshot = {

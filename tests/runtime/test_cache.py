@@ -108,6 +108,82 @@ class TestRobustness:
         assert cache.directory.exists()
 
 
+class TestCrashConsistency:
+    """A writer killed mid-put must never corrupt, phantom-serve, or
+    budget-poison the cache."""
+
+    def _torn_staging(self, cache, name="torn-pid999.npz", age=None):
+        staging = cache.directory / ".tmp"
+        staging.mkdir(parents=True, exist_ok=True)
+        torn = staging / name
+        torn.write_bytes(b"PK\x03\x04 truncated mid-write")
+        if age is not None:
+            import os
+            import time
+
+            stamp = time.time() - age
+            os.utime(torn, (stamp, stamp))
+        return torn
+
+    def test_torn_staging_is_never_served(self, cache, result):
+        # A staging file whose name matches a real key must still be
+        # invisible: only the atomic rename publishes an artifact.
+        self._torn_staging(cache, name=f"{KEY}-12345-678-abcd1234.npz")
+        assert cache.get(KEY) is None
+        assert KEY not in cache
+
+    def test_torn_staging_is_not_counted_by_the_byte_budget(
+        self, tmp_path, result
+    ):
+        cache = ResultCache(tmp_path / "cache", max_bytes=1 << 30)
+        cache.put(KEY, result)
+        real = cache.path_for(KEY).stat().st_size
+        self._torn_staging(cache)
+        # _scan_bytes globs the cache root only; .tmp leftovers add 0.
+        assert cache._scan_bytes() == real
+
+    def test_stale_staging_is_swept_on_init(self, tmp_path, result):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, result)
+        dead = self._torn_staging(cache, name="dead.npz", age=7200.0)
+        fresh = self._torn_staging(cache, name="fresh.npz")
+        reopened = ResultCache(tmp_path / "cache")
+        assert not dead.exists()  # old enough: a killed writer's leavings
+        assert fresh.exists()  # could belong to a live concurrent writer
+        assert reopened.get(KEY) is not None  # real artifacts untouched
+
+    def test_visible_artifact_survives_reopen_byte_equal(
+        self, tmp_path, result
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, result)
+        reopened = ResultCache(tmp_path / "cache")
+        loaded = reopened.get(KEY)
+        assert (
+            loaded.reward_fractions.tobytes()
+            == result.reward_fractions.tobytes()
+        )
+
+    def test_discard_removes_without_counting_an_eviction(
+        self, tmp_path, result
+    ):
+        cache = ResultCache(tmp_path / "cache", max_bytes=1 << 30)
+        cache.put(KEY, result)
+        assert cache.discard(KEY)
+        assert KEY not in cache
+        assert cache.evictions == 0
+        assert not cache.discard(KEY)  # already gone
+
+    def test_discard_updates_the_occupancy_estimate(self, tmp_path, result):
+        budget = ResultCache(tmp_path / "cache", max_bytes=1 << 30)
+        budget.put("a" * 64, result)
+        budget.put("b" * 64, result)
+        before = budget._approx_bytes
+        size = budget.path_for("a" * 64).stat().st_size
+        budget.discard("a" * 64)
+        assert budget._approx_bytes == before - size
+
+
 class TestBudget:
     """max_bytes LRU eviction."""
 

@@ -335,6 +335,30 @@ def main() -> None:
               f"{resumed_runner.cache.hits} cache hit(s) — "
               f"nothing recomputed")
 
+    # 10. Doctrine lint: everything above only works because of
+    #     invariants no test can see locally — execution knobs stay
+    #     out of cache fingerprints, retry jitter never consumes RNG,
+    #     shard payloads stay picklable, shared tallies stay under
+    #     their locks.  `repro-lint src/` (the CI gate) enforces those
+    #     invariants statically; the same engine is importable, so a
+    #     snippet can be checked in-process.  Note the waiver with its
+    #     mandatory reason — a reason-less waiver is itself a finding.
+    from repro.lint import check_source
+
+    snippet = (
+        "import time\n"
+        "started = time.time()"
+        "  # repro-lint: disable=DET003  # example metadata only\n"
+        "\n"
+        "deadline = time.time() + 60\n"
+    )
+    report = check_source(snippet, "snippet.py",
+                          relpath="repro/runtime/chaos.py")
+    print(f"repro-lint on a chaos-module snippet: "
+          f"{len(report.findings)} finding(s) "
+          f"({len(report.waived)} waived) — "
+          + "; ".join(f"{f.rule} line {f.line}" for f in report.findings))
+
 
 if __name__ == "__main__":
     main()

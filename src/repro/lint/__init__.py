@@ -1,0 +1,69 @@
+"""repro-lint: AST-based static enforcement of the runtime doctrine.
+
+ROADMAP's "Doctrine to preserve" is enforced here ahead of execution,
+the way tabled-evaluation systems check program properties before a
+query runs rather than discovering violations mid-run.  Five rule
+families, each grounded in an invariant the test suite pins
+dynamically:
+
+========  ====================================================
+Family    Invariant
+========  ====================================================
+``DET``   determinism-critical modules never consume ambient
+          entropy (no ``random``, unseeded ``default_rng``,
+          wall-clock reads, or entropy UUIDs)
+``FPR``   execution knobs never enter cache fingerprints, and
+          ``_fingerprint_exclude_`` stays literal and live
+``PKL``   boundary-crossing classes stay picklable (no lambdas,
+          locks, open files, generators; checkable ``__reduce__``)
+``LCK``   designated shared attributes are written only under
+          their owning lock
+``EXC``   no bare or silently swallowed exceptions in retry and
+          salvage paths
+``LNT``   the linter's own hygiene: waivers need reasons and
+          valid rule ids; files must parse
+========  ====================================================
+
+Run it as ``repro-lint src/`` (or ``python -m repro.lint``); waive a
+false positive inline::
+
+    value = time.time()  # repro-lint: disable=DET003  # trace metadata
+
+See :mod:`repro.lint.doctrine` for the machine-readable doctrine and
+:mod:`repro.lint.core` for the framework.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Finding,
+    LintContext,
+    LintReport,
+    RULES,
+    Rule,
+    check_path,
+    check_source,
+    check_tree,
+    register,
+    select_rules,
+)
+
+# Importing the rule modules populates the registry.
+from . import rules_det  # noqa: F401  (registration side effect)
+from . import rules_exc  # noqa: F401
+from . import rules_fpr  # noqa: F401
+from . import rules_lck  # noqa: F401
+from . import rules_pkl  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "check_path",
+    "check_source",
+    "check_tree",
+    "register",
+    "select_rules",
+]

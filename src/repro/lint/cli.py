@@ -1,0 +1,107 @@
+"""The ``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint [PATH ...] [--select DET,FPR001] [--ignore LCK]
+               [--json] [--list-rules]
+
+Exit status: 0 clean, 1 findings, 2 usage error.  ``--json`` emits a
+machine-readable report for CI; the default text output is one
+``path:line:col: RULE message`` line per finding, sorted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from . import RULES, check_tree, select_rules
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based static analysis enforcing the repro runtime "
+            "doctrine: determinism, fingerprint purity, pickle and "
+            "lock safety, exception hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: ./src, else .)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids or families to run (e.g. DET,FPR001)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids or families to skip",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _default_paths() -> List[str]:
+    return ["src"] if pathlib.Path("src").is_dir() else ["."]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id].summary}")
+        return 0
+
+    try:
+        rules = select_rules(
+            args.select.split(",") if args.select else None,
+            args.ignore.split(",") if args.ignore else None,
+        )
+    except ValueError as error:
+        parser.error(str(error))  # exits 2
+
+    paths = args.paths or _default_paths()
+    for path in paths:
+        if not pathlib.Path(path).exists():
+            parser.error(f"no such path: {path}")
+
+    report = check_tree(paths, rules=rules)
+
+    if args.as_json:
+        print(json.dumps({
+            "version": 1,
+            "files": report.files,
+            "findings": [finding.as_dict() for finding in report.findings],
+            "waived": [finding.as_dict() for finding in report.waived],
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"repro-lint: {len(report.findings)} finding"
+            f"{'' if len(report.findings) == 1 else 's'} "
+            f"({len(report.waived)} waived) in {report.files} files"
+        )
+        print(summary, file=sys.stderr)
+
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""DET: determinism-critical modules must not consume ambient entropy.
+
+Retry jitter, chaos schedules and kernel batching are pure SHA-256
+functions of task coordinates, and telemetry is bit-identity neutral —
+ROADMAP's doctrine.  In the modules listed in
+:data:`repro.lint.doctrine.DETERMINISM_MODULES` these rules ban the
+stdlib ``random`` module, NumPy's legacy global-state RNG API and
+unseeded ``default_rng()``, wall-clock reads (``time.time`` and the
+``datetime`` now/today family — ``perf_counter``/``monotonic`` stay
+legal: durations are telemetry, not entropy), and entropy-backed UUIDs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List
+
+from .core import Finding, LintContext, Rule, dotted_name, register
+from .doctrine import DETERMINISM_MODULES, NUMPY_RANDOM_ALLOWED
+
+__all__ = [
+    "BannedRandomModule",
+    "UnseededGenerator",
+    "WallClockRead",
+    "EntropyUUID",
+]
+
+#: Wall-clock call targets (canonical dotted origins after alias
+#: resolution).
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_ENTROPY_UUID = {"uuid.uuid1", "uuid.uuid4"}
+
+
+class _OriginResolver(ast.NodeVisitor):
+    """Track what dotted origin each local name is bound to by imports.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from time import
+    time as now`` binds ``now -> time.time``.  :meth:`origin_of`
+    rewrites an expression's dotted chain through those bindings, so
+    ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+    however the module was imported.
+    """
+
+    def __init__(self) -> None:
+        self.bindings: Dict[str, str] = {}
+        self.import_nodes: List[ast.AST] = []
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            origin = alias.name if alias.asname else alias.name.split(".")[0]
+            self.bindings[local] = origin
+            self.import_nodes.append(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.bindings[local] = f"{node.module}.{alias.name}"
+            self.import_nodes.append(node)
+
+    def origin_of(self, node: ast.AST) -> str:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return ""
+        head, _, rest = dotted.partition(".")
+        head = self.bindings.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+
+def _resolver(ctx: LintContext) -> _OriginResolver:
+    resolver = _OriginResolver()
+    resolver.visit(ctx.tree)
+    return resolver
+
+
+class _DetRule(Rule):
+    scope = DETERMINISM_MODULES
+
+
+@register
+class BannedRandomModule(_DetRule):
+    id = "DET001"
+    summary = ("stdlib random and NumPy's legacy global-state RNG are "
+               "banned in determinism-critical modules")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        resolver = _resolver(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    module = (
+                        alias.name if isinstance(node, ast.Import)
+                        else (node.module or "")
+                    )
+                    if module == "random" or module.startswith("random."):
+                        yield ctx.finding(
+                            self, node,
+                            "import of stdlib 'random': derive values from "
+                            "hashlib.sha256 of task coordinates instead",
+                        )
+            elif isinstance(node, ast.Call):
+                origin = resolver.origin_of(node.func)
+                if (
+                    origin.startswith("numpy.random.")
+                    and origin.rsplit(".", 1)[1] not in NUMPY_RANDOM_ALLOWED
+                ):
+                    yield ctx.finding(
+                        self, node,
+                        f"legacy numpy.random global-state call "
+                        f"'{origin}': use a seeded Generator",
+                    )
+
+
+@register
+class UnseededGenerator(_DetRule):
+    id = "DET002"
+    summary = "np.random.default_rng() without a seed draws OS entropy"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        resolver = _resolver(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolver.origin_of(node.func)
+            if origin == "numpy.random.default_rng" and not node.args:
+                yield ctx.finding(
+                    self, node,
+                    "unseeded default_rng(): thread the spec's "
+                    "SeedSequence through instead",
+                )
+
+
+@register
+class WallClockRead(_DetRule):
+    id = "DET003"
+    summary = ("wall-clock reads (time.time, datetime.now) are banned in "
+               "determinism-critical modules")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        resolver = _resolver(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolver.origin_of(node.func)
+            if origin in _WALL_CLOCK:
+                yield ctx.finding(
+                    self, node,
+                    f"wall-clock read '{origin}': schedules and jitter "
+                    "must be pure functions of task coordinates",
+                )
+
+
+@register
+class EntropyUUID(_DetRule):
+    id = "DET004"
+    summary = "uuid1/uuid4 consume ambient entropy"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        resolver = _resolver(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolver.origin_of(node.func)
+            if origin in _ENTROPY_UUID:
+                yield ctx.finding(
+                    self, node,
+                    f"entropy-backed '{origin}': name artifacts by "
+                    "content hash or task coordinates instead",
+                )

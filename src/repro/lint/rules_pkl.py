@@ -1,0 +1,189 @@
+"""PKL: everything that crosses a worker boundary must pickle.
+
+Specs, :class:`~repro.runtime.faults.ShardFailure`,
+:class:`~repro.obs.ShardEnvelope` and the chaos wrappers ship through
+``multiprocessing``; an unpicklable attribute fails only at dispatch
+time, on the processes backend, under load.  In the modules listed in
+:data:`repro.lint.doctrine.BOUNDARY_MODULES` these rules ban storing
+the classic poison values on instances or classes — lambdas, lock
+primitives, open file handles, generators — and keep ``__reduce__``
+overrides in the statically checkable ``(callable, args)`` shape that
+is what makes round-tripping verifiable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from .core import Finding, LintContext, Rule, dotted_name, register
+from .doctrine import BOUNDARY_MODULES
+
+__all__ = [
+    "LambdaAttribute",
+    "UnpicklableAttribute",
+    "ReduceShape",
+]
+
+#: Constructors whose results never pickle (lock primitives and open
+#: file handles), as dotted origins.
+_UNPICKLABLE_CALLS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Event",
+    "threading.local",
+    "multiprocessing.Lock",
+    "multiprocessing.RLock",
+    "open",
+    "io.open",
+}
+
+#: Methods whose attribute assignments define instance state.
+_INIT_METHODS = ("__init__", "__post_init__", "__new__")
+
+
+def _attribute_stores(cls: ast.ClassDef) -> Iterator[Tuple[str, ast.expr]]:
+    """Yield ``(attr_name, value_expr)`` for class-level fields and for
+    ``self.attr = value`` / ``object.__setattr__(self, "attr", value)``
+    assignments inside the init-family methods."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    yield target.id, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                yield stmt.target.id, stmt.value
+        elif (
+            isinstance(stmt, ast.FunctionDef) and stmt.name in _INIT_METHODS
+        ):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in ("self", "cls")
+                        ):
+                            yield target.attr, node.value
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr == "__setattr__"
+                        and len(node.args) >= 3
+                        and isinstance(node.args[1], ast.Constant)
+                        and isinstance(node.args[1].value, str)
+                    ):
+                        yield node.args[1].value, node.args[2]
+
+
+class _BoundaryRule(Rule):
+    scope = BOUNDARY_MODULES
+
+
+@register
+class LambdaAttribute(_BoundaryRule):
+    id = "PKL001"
+    summary = "boundary-crossing classes may not store lambdas"
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for attr, value in _attribute_stores(node):
+                for inner in ast.walk(value):
+                    if isinstance(inner, ast.Lambda):
+                        yield ctx.finding(
+                            self, inner,
+                            f"{node.name}.{attr} holds a lambda: lambdas "
+                            "do not pickle across the worker boundary; "
+                            "use a module-level function or a picklable "
+                            "callable class",
+                        )
+
+
+@register
+class UnpicklableAttribute(_BoundaryRule):
+    id = "PKL002"
+    summary = ("boundary-crossing classes may not store locks, open "
+               "files or generators")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for attr, value in _attribute_stores(node):
+                # A genexp nested under tuple()/list()/... is
+                # materialised before storage; only a directly stored
+                # generator survives to dispatch time.
+                if isinstance(value, ast.GeneratorExp):
+                    yield ctx.finding(
+                        self, value,
+                        f"{node.name}.{attr} holds a generator: "
+                        "generators do not pickle; materialise a "
+                        "tuple instead",
+                    )
+                for inner in ast.walk(value):
+                    if isinstance(inner, ast.Call):
+                        origin = dotted_name(inner.func)
+                        if origin in _UNPICKLABLE_CALLS:
+                            yield ctx.finding(
+                                self, inner,
+                                f"{node.name}.{attr} holds "
+                                f"'{origin}(...)': lock primitives and "
+                                "open handles do not pickle across the "
+                                "worker boundary",
+                            )
+
+
+def _return_shape_ok(value: Optional[ast.expr]) -> bool:
+    """Whether a ``__reduce__`` return value is a literal
+    ``(callable, (args...))`` tuple (optionally with a state third
+    element)."""
+    if not isinstance(value, ast.Tuple) or len(value.elts) < 2:
+        return False
+    rebuild, args = value.elts[0], value.elts[1]
+    if not isinstance(rebuild, (ast.Name, ast.Attribute)):
+        return False
+    return isinstance(args, ast.Tuple)
+
+
+@register
+class ReduceShape(_BoundaryRule):
+    id = "PKL003"
+    summary = ("__reduce__ overrides must return a literal "
+               "(callable, args-tuple) so the round-trip is checkable")
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                if not (
+                    isinstance(stmt, ast.FunctionDef)
+                    and stmt.name in ("__reduce__", "__reduce_ex__")
+                ):
+                    continue
+                returns: List[ast.Return] = [
+                    inner for inner in ast.walk(stmt)
+                    if isinstance(inner, ast.Return)
+                ]
+                if not returns:
+                    yield ctx.finding(
+                        self, stmt,
+                        f"{node.name}.{stmt.name} never returns a "
+                        "reconstruction tuple",
+                    )
+                for ret in returns:
+                    if not _return_shape_ok(ret.value):
+                        yield ctx.finding(
+                            self, ret,
+                            f"{node.name}.{stmt.name} must return a "
+                            "literal (callable, (args, ...)) tuple; "
+                            "anything else defeats the pickling "
+                            "round-trip tests",
+                        )

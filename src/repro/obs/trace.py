@@ -111,6 +111,7 @@ class _ActiveSpan:
         stack = self._tracer._stack_for_thread()
         self._parent_id = stack[-1] if stack else None
         stack.append(self.span_id)
+        # repro-lint: disable=DET003  # span start is trace metadata: read, never fed back into simulation
         self._ts = time.time()
         self._perf = time.perf_counter()
         return self
@@ -169,7 +170,7 @@ class Tracer:
             "name": name,
             "span_id": self._next_id(),
             "parent_id": stack[-1] if stack else None,
-            "ts": time.time(),
+            "ts": time.time(),  # repro-lint: disable=DET003  # event timestamp is trace metadata, never consumed by simulation
             "dur": 0.0,
             "pid": os.getpid(),
             "tid": threading.get_ident(),
@@ -349,6 +350,7 @@ def write_trace(
         path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(
+            # repro-lint: disable=DET003  # file-creation stamp in the trace header, outside any simulation path
             {"schema": TRACE_SCHEMA, "created": time.time(), "spans": len(spans)},
             handle,
             separators=(",", ":"),

@@ -128,6 +128,7 @@ class RunJournal:
                 and ordinal >= 0
                 and isinstance(key, str)
             ):
+                # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
                 self._shards.setdefault(spec, {})[ordinal] = key
                 self.recovered_records += 1
             else:
@@ -135,6 +136,7 @@ class RunJournal:
         elif kind == "spec":
             spec = record.get("spec")
             if isinstance(spec, str):
+                # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
                 self._specs.add(spec)
                 self.recovered_records += 1
             else:

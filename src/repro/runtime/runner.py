@@ -34,6 +34,7 @@ under every multiprocessing start method.
 from __future__ import annotations
 
 import pathlib
+import threading
 from typing import (
     Any,
     Dict,
@@ -349,6 +350,10 @@ class ParallelRunner:
         self.default_shards = shards
         self.progress = progress
         self.stream = bool(stream)
+        # Tally counters are shared state: the threads backend fires
+        # retry callbacks from pool threads, so updates must hold this
+        # lock or concurrent completions lose increments.
+        self._retry_lock = threading.Lock()
         #: Retry attempts consumed across this runner's dispatches.
         self.shards_retried = 0
         #: Shards recovered from journal checkpoints instead of dispatched.
@@ -362,7 +367,8 @@ class ParallelRunner:
             pass  # duck-typed executor without the knob: no tally
 
     def _on_retry(self, index: int, attempt: int) -> None:
-        self.shards_retried += 1
+        with self._retry_lock:
+            self.shards_retried += 1
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("runner.shards_retried").inc()
@@ -565,7 +571,8 @@ class ParallelRunner:
                         ordinals = tuple(
                             o for o in range(len(plan)) if o not in recovered
                         )
-                        self.shards_resumed += len(recovered)
+                        with self._retry_lock:
+                            self.shards_resumed += len(recovered)
                         if metrics.enabled:
                             metrics.counter("runner.shards_resumed").inc(
                                 len(recovered)

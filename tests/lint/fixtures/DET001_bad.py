@@ -1,0 +1,8 @@
+"""Bad: stdlib random and the legacy numpy global-state API."""
+import random
+
+import numpy as np
+
+
+def jitter(task):
+    return random.random() * 0.1 + np.random.rand()

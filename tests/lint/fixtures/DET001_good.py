@@ -1,0 +1,7 @@
+"""Good: jitter derived from a SHA-256 of the task coordinates."""
+import hashlib
+
+
+def jitter(task, attempt):
+    digest = hashlib.sha256(f"retry:{task}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)

@@ -1,0 +1,7 @@
+"""Bad: an unseeded generator draws fresh OS entropy per call."""
+import numpy as np
+
+
+def draw(n):
+    rng = np.random.default_rng()
+    return rng.uniform(size=n)

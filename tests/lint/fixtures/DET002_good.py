@@ -1,0 +1,7 @@
+"""Good: the generator is seeded from the spec's SeedSequence."""
+import numpy as np
+
+
+def draw(seed, n):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=n)

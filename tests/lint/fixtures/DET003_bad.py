@@ -1,0 +1,6 @@
+"""Bad: a wall-clock read feeding a schedule."""
+import time
+
+
+def deadline(budget):
+    return time.time() + budget

@@ -1,0 +1,8 @@
+"""Good: monotonic durations are telemetry, not entropy."""
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,6 @@
+"""Bad: an entropy-backed UUID naming an artifact."""
+import uuid
+
+
+def staging_name(key):
+    return f"{key}-{uuid.uuid4().hex[:8]}.npz"

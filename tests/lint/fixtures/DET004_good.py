@@ -1,0 +1,7 @@
+"""Good: artifact names derived from content coordinates."""
+import hashlib
+
+
+def staging_name(key, pid, tid):
+    tag = hashlib.sha256(f"{key}:{pid}:{tid}".encode()).hexdigest()[:8]
+    return f"{key}-{tag}.npz"

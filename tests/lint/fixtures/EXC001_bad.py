@@ -1,0 +1,11 @@
+"""Bad: a bare except absorbs KeyboardInterrupt and SystemExit."""
+
+
+def salvage(results):
+    merged = []
+    for item in results:
+        try:
+            merged.append(item.load())
+        except:
+            continue
+    return merged

@@ -1,0 +1,11 @@
+"""Good: the absorbable failures are named."""
+
+
+def salvage(results):
+    merged = []
+    for item in results:
+        try:
+            merged.append(item.load())
+        except (OSError, ValueError):
+            continue
+    return merged

@@ -1,0 +1,10 @@
+"""Good: the failure travels home as data for retry classification."""
+import traceback
+
+
+def run_shard(task, failures):
+    try:
+        return task()
+    except Exception as error:
+        failures.append((repr(error), traceback.format_exc()))
+        return None

@@ -1,0 +1,9 @@
+"""Bad: BaseException caught and kept."""
+
+
+def guard(task, log):
+    try:
+        return task()
+    except BaseException as error:
+        log(error)
+        return None

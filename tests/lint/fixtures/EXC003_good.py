@@ -1,0 +1,9 @@
+"""Good: shutdown signals propagate after the bookkeeping."""
+
+
+def guard(task, log):
+    try:
+        return task()
+    except BaseException as error:
+        log(error)
+        raise

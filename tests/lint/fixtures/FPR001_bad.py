@@ -1,0 +1,10 @@
+"""Bad: an execution knob hashed into the fingerprint payload."""
+
+
+def spec_fingerprint(spec, shards=None):
+    payload = {
+        "trials": spec.trials,
+        "kernel": spec.kernel,
+        "shards": shards,
+    }
+    return payload

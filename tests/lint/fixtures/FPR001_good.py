@@ -1,0 +1,10 @@
+"""Good: the payload covers physics knobs only."""
+
+
+def spec_fingerprint(spec, shards=None):
+    payload = {
+        "trials": spec.trials,
+        "horizon": spec.horizon,
+        "shards": shards,
+    }
+    return payload

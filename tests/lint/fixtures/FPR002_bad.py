@@ -1,0 +1,12 @@
+"""Bad: the exclusion set is computed, so nothing can check it."""
+
+
+def _compute_excludes():
+    return frozenset({"fast"})
+
+
+class SystemThing:
+    _fingerprint_exclude_ = _compute_excludes()
+
+    def __init__(self, fast=True):
+        self.fast = bool(fast)

@@ -1,0 +1,8 @@
+"""Good: a literal frozenset the linter (and reader) can see."""
+
+
+class SystemThing:
+    _fingerprint_exclude_ = frozenset({"fast"})
+
+    def __init__(self, fast=True):
+        self.fast = bool(fast)

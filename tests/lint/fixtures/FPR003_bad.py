@@ -1,0 +1,7 @@
+"""Bad: an execution knob the fingerprint would hash."""
+
+
+class SystemThing:
+    def __init__(self, reward, fast=True):
+        self.reward = float(reward)
+        self.fast = bool(fast)

@@ -1,0 +1,9 @@
+"""Good: the knob is excluded from the content address."""
+
+
+class SystemThing:
+    _fingerprint_exclude_ = frozenset({"fast"})
+
+    def __init__(self, reward, fast=True):
+        self.reward = float(reward)
+        self.fast = bool(fast)

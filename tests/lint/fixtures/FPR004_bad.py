@@ -1,0 +1,8 @@
+"""Bad: the exclusion list names an attribute that no longer exists."""
+
+
+class SystemThing:
+    _fingerprint_exclude_ = frozenset({"fast", "ghost"})
+
+    def __init__(self, fast=True):
+        self.fast = bool(fast)

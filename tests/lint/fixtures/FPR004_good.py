@@ -1,0 +1,8 @@
+"""Good: every excluded name is a live attribute."""
+
+
+class SystemThing:
+    _fingerprint_exclude_ = frozenset({"fast"})
+
+    def __init__(self, fast=True):
+        self.fast = bool(fast)

@@ -1,0 +1,27 @@
+"""Good: every shared write holds the owning lock."""
+import threading
+
+
+class ResultCache:
+    def __init__(self, directory):
+        self.directory = directory
+        self.hits = 0
+        self._stats_lock = threading.Lock()
+
+    def count_hit(self):
+        with self._stats_lock:
+            self.hits += 1
+
+
+class SpanBuffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._records = []
+
+    def record(self, item):
+        with self._lock:
+            self._records.append(item)
+
+    def reset(self):
+        with self._lock:
+            self._records = []

@@ -1,0 +1,6 @@
+"""Bad: folding a snapshot into an instrument it does not own,
+without that instrument's lock."""
+
+
+def merge_gauge(gauge, value):
+    gauge.value = max(gauge.value, value)

@@ -1,0 +1,6 @@
+"""Good: the foreign instrument's lock is held across the fold."""
+
+
+def merge_gauge(gauge, value):
+    with gauge._lock:
+        gauge.value = max(gauge.value, value)

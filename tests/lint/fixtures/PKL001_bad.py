@@ -1,0 +1,7 @@
+"""Bad: a lambda stored on a boundary-crossing payload."""
+
+
+class ShardTask:
+    def __init__(self, spec):
+        self.spec = spec
+        self.classify = lambda error: True

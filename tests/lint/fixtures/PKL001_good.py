@@ -1,0 +1,11 @@
+"""Good: a module-level function pickles by qualified name."""
+
+
+def classify(error):
+    return True
+
+
+class ShardTask:
+    def __init__(self, spec):
+        self.spec = spec
+        self.classify = classify

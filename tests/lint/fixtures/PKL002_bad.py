@@ -1,0 +1,8 @@
+"""Bad: a lock on a payload that must cross the process boundary."""
+import threading
+
+
+class ShardTask:
+    def __init__(self, spec):
+        self.spec = spec
+        self._lock = threading.Lock()

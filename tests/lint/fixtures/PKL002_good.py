@@ -1,0 +1,7 @@
+"""Good: plain data only; synchronisation lives with the parent."""
+
+
+class ShardTask:
+    def __init__(self, spec, attempts):
+        self.spec = spec
+        self.attempts = tuple(attempts)

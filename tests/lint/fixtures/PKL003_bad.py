@@ -1,0 +1,9 @@
+"""Bad: a __reduce__ whose shape nothing can verify statically."""
+
+
+class Payload(tuple):
+    def __reduce__(self):
+        return self.rebuild_spec()
+
+    def rebuild_spec(self):
+        return "Payload"

@@ -1,0 +1,11 @@
+"""Good: the canonical (callable, args) reconstruction tuple."""
+
+
+class Payload(tuple):
+    def __new__(cls, error, attempts=1):
+        self = super().__new__(cls, (error,))
+        self.attempts = int(attempts)
+        return self
+
+    def __reduce__(self):
+        return (Payload, (self[0], self.attempts))

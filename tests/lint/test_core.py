@@ -1,0 +1,174 @@
+"""Framework tests: waivers, meta-rules, selection, and the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.lint  # noqa: F401  (registers all rules)
+from repro.lint.core import (
+    Finding,
+    RULES,
+    check_source,
+    repo_relative,
+    select_rules,
+)
+
+RELPATH = "repro/runtime/chaos.py"  # inside DET scope
+
+
+def lint(source, relpath=RELPATH):
+    return check_source(source, "<test>", relpath=relpath)
+
+
+# -- waivers ------------------------------------------------------------------
+
+
+def test_waiver_on_same_line_suppresses():
+    report = lint(
+        "import time\n"
+        "ts = time.time()  # repro-lint: disable=DET003  # trace metadata\n"
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.waived] == ["DET003"]
+
+
+def test_waiver_on_line_above_suppresses():
+    report = lint(
+        "import time\n"
+        "# repro-lint: disable=DET003  # trace metadata\n"
+        "ts = time.time()\n"
+    )
+    assert report.findings == []
+    assert [f.rule for f in report.waived] == ["DET003"]
+
+
+def test_waiver_two_lines_above_does_not_suppress():
+    report = lint(
+        "import time\n"
+        "# repro-lint: disable=DET003  # too far away\n"
+        "\n"
+        "ts = time.time()\n"
+    )
+    assert [f.rule for f in report.findings] == ["DET003"]
+
+
+def test_waiver_only_covers_named_rules():
+    report = lint(
+        "import time\n"
+        "ts = time.time()  # repro-lint: disable=DET004  # wrong rule\n"
+    )
+    assert [f.rule for f in report.findings] == ["DET003"]
+
+
+def test_waiver_multiple_rules():
+    report = lint(
+        "import time, uuid\n"
+        "# repro-lint: disable=DET003,DET004  # staging artifact only\n"
+        "stamp = (time.time(), uuid.uuid4())\n"
+    )
+    assert report.findings == []
+    assert sorted(f.rule for f in report.waived) == ["DET003", "DET004"]
+
+
+def test_waiver_without_reason_is_lnt001():
+    report = lint(
+        "import time\n"
+        "ts = time.time()  # repro-lint: disable=DET003\n"
+    )
+    rules = sorted(f.rule for f in report.findings)
+    # The finding is still waived, but the reason-less waiver is itself
+    # a finding — waivers cannot rot silently.
+    assert rules == ["LNT001"]
+    assert [f.rule for f in report.waived] == ["DET003"]
+
+
+def test_waiver_unknown_rule_is_lnt003():
+    report = lint("x = 1  # repro-lint: disable=ZZZ999  # bogus\n")
+    assert [f.rule for f in report.findings] == ["LNT003"]
+    assert "ZZZ999" in report.findings[0].message
+
+
+def test_syntax_error_is_lnt002():
+    report = lint("def broken(:\n    pass\n")
+    assert [f.rule for f in report.findings] == ["LNT002"]
+    assert report.files == 1
+
+
+# -- selection ----------------------------------------------------------------
+
+
+def test_select_exact_id():
+    rules = select_rules(select=["DET003"])
+    assert [rule.id for rule in rules] == ["DET003"]
+
+
+def test_select_family_prefix():
+    rules = select_rules(select=["DET"])
+    ids = [rule.id for rule in rules]
+    assert ids == sorted(r for r in RULES if r.startswith("DET"))
+    assert len(ids) >= 4
+
+
+def test_ignore_drops_rules():
+    rules = select_rules(ignore=["DET", "LNT001"])
+    ids = {rule.id for rule in rules}
+    assert not any(r.startswith("DET") for r in ids)
+    assert "LNT001" not in ids
+    assert "EXC001" in ids
+
+
+def test_unknown_select_entry_raises():
+    with pytest.raises(ValueError, match="ZZZ"):
+        select_rules(select=["ZZZ999"])
+    with pytest.raises(ValueError, match="NOPE"):
+        select_rules(ignore=["NOPE"])
+
+
+def test_selection_respected_by_engine():
+    source = "import time\nts = time.time()\n"
+    only_det4 = check_source(source, "<t>", relpath=RELPATH,
+                             rules=select_rules(select=["DET004"]))
+    assert only_det4.findings == []
+    det = check_source(source, "<t>", relpath=RELPATH,
+                       rules=select_rules(select=["DET003"]))
+    assert [f.rule for f in det.findings] == ["DET003"]
+
+
+def test_ignoring_lnt001_silences_reasonless_waiver():
+    source = "import time\nts = time.time()  # repro-lint: disable=DET003\n"
+    report = check_source(source, "<t>", relpath=RELPATH,
+                          rules=select_rules(ignore=["LNT001"]))
+    assert report.findings == []
+
+
+# -- scoping and plumbing -----------------------------------------------------
+
+
+def test_rules_scope_by_relpath():
+    source = "import time\nts = time.time()\n"
+    in_scope = check_source(source, "<t>", relpath="repro/obs/trace.py")
+    out_of_scope = check_source(source, "<t>", relpath="repro/analysis/tables.py")
+    assert [f.rule for f in in_scope.findings] == ["DET003"]
+    assert out_of_scope.findings == []
+
+
+def test_repo_relative():
+    assert repo_relative("src/repro/runtime/cache.py") == "repro/runtime/cache.py"
+    assert repo_relative("/abs/x/src/repro/obs/trace.py") == "repro/obs/trace.py"
+    assert repo_relative("standalone.py") == "standalone.py"
+
+
+def test_finding_ordering_and_dict():
+    early = Finding("a.py", 3, 1, "DET003", "m")
+    late = Finding("a.py", 9, 1, "DET003", "m")
+    assert sorted([late, early]) == [early, late]
+    assert early.as_dict() == {
+        "path": "a.py", "line": 3, "col": 1, "rule": "DET003", "message": "m",
+    }
+
+
+def test_rule_ids_are_well_formed():
+    for rule_id in RULES:
+        assert len(rule_id) == 6
+        assert rule_id[:3].isalpha() and rule_id[:3].isupper()
+        assert rule_id[3:].isdigit()

@@ -1,6 +1,6 @@
 """Parallel + cached experiments with ``repro.runtime``.
 
-Demonstrates the nine ways to use the runtime layer:
+Demonstrates the ways to use the runtime layer:
 
 1. the high-level :class:`MiningGame` knobs (``workers=``, ``cache=``),
 2. an explicit :class:`ParallelRunner` over a :class:`SimulationSpec`
@@ -56,7 +56,18 @@ Demonstrates the nine ways to use the runtime layer:
    run that survived faults is bit-identical to one that never saw
    any, and shares its cache artifacts.  The seeded
    :class:`ChaosExecutor` proves it by injecting deterministic fault
-   schedules in the differential suite.
+   schedules in the differential suite,
+
+10. the doctrine linter (``repro-lint``, the CI gate): the invariants
+    behind all of the above, enforced statically,
+
+11. storage integrity (``repro-fsck``, the CLI's ``--no-verify``
+    opt-out): every cached artifact carries a SHA-256 sidecar,
+    verified on read — bit rot is quarantined (never served, never
+    silently deleted) and the slot recomputes bit-identically; a
+    full disk degrades the cache to pass-through behind a loud
+    warning instead of failing the run; ``repro-fsck --repair``
+    scans and heals a cache+journal tree offline.
 
 How the knobs compose: the kernel attacks per-round *depth*, workers
 attack ensemble *breadth*.  Start with ``workers=1`` + the default
@@ -358,6 +369,37 @@ def main() -> None:
           f"{len(report.findings)} finding(s) "
           f"({len(report.waived)} waived) — "
           + "; ".join(f"{f.rule} line {f.line}" for f in report.findings))
+
+    # 11. Storage integrity: flip one byte in a cached artifact and the
+    #     verify-on-read gate quarantines it (evidence preserved under
+    #     <cache>/quarantine/, never served) and the next run
+    #     recomputes the identical bytes.  `repro-fsck --repair` does
+    #     the same scan offline — plus digest adoption, orphan sweeps
+    #     and journal compaction — and exits 0 only when the tree
+    #     re-scans clean.
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.integrity import fsck
+    from repro.runtime.spec import spec_fingerprint
+
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        runner = ParallelRunner(workers=1, cache=cache)
+        clean = runner.run(spec, shards=4)
+        key = spec_fingerprint(spec, shards=4)
+        artifact = cache.path_for(key)
+        pristine = artifact.read_bytes()
+        damaged = bytearray(pristine)
+        damaged[len(damaged) // 2] ^= 0xFF  # one flipped bit of rot
+        artifact.write_bytes(bytes(damaged))
+
+        healed = ParallelRunner(workers=1, cache=cache).run(spec, shards=4)
+        identical = artifact.read_bytes() == pristine
+        report = fsck(root)
+        print(f"flipped-byte artifact: quarantined={cache.quarantined}, "
+              f"recomputed bit-identical = "
+              f"{identical and np.array_equal(healed.reward_fractions, clean.reward_fractions)}, "
+              f"fsck clean={report.clean} "
+              f"(quarantine holds {report.quarantine_entries} entry)")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ _LONG_DESCRIPTION = (
 
 setup(
     name="repro-blockchain-fairness",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Fairness analysis for blockchain incentives — SIGMOD 2021 "
         "reproduction"
@@ -38,6 +38,7 @@ setup(
             "repro-experiments=repro.experiments.runner:main",
             "repro-trace=repro.obs.report:main",
             "repro-lint=repro.lint.cli:main",
+            "repro-fsck=repro.runtime.integrity:main",
         ],
     },
     classifiers=[

@@ -101,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         "write exceeds it",
     )
     parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip SHA-256 digest verification on cache reads (on by "
+        "default: artifacts whose bytes no longer match their recorded "
+        "digest are quarantined and recomputed).  Requires --cache; "
+        "never changes results or cache keys",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=list(EXECUTOR_BACKENDS),
@@ -284,6 +292,8 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
         )
     if args.resume and args.cache is None:
         raise SystemExit("--resume requires --cache")
+    if args.no_verify and args.cache is None:
+        raise SystemExit("--no-verify requires --cache")
     if args.workers == 1 and args.cache is None:
         if args.backend is not None:
             # Mirror MiningGame.simulate: raise rather than silently
@@ -303,10 +313,17 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             )
         return None
     cache = args.cache
-    if cache is not None and args.cache_budget is not None:
+    if cache is not None and (args.cache_budget is not None or args.no_verify):
         from ..runtime import ResultCache
 
-        cache = ResultCache(cache, max_bytes=_parse_bytes(args.cache_budget))
+        budget = (
+            _parse_bytes(args.cache_budget)
+            if args.cache_budget is not None
+            else None
+        )
+        cache = ResultCache(
+            cache, max_bytes=budget, verify=not args.no_verify
+        )
     journal = None
     if args.resume:
         cache_dir = getattr(cache, "directory", None) or pathlib.Path(

@@ -28,6 +28,7 @@ __all__ = [
     "LOCK_MODULES",
     "MUTATOR_METHODS",
     "NUMPY_RANDOM_ALLOWED",
+    "STORAGE_MODULES",
     "SWALLOW_MODULES",
 ]
 
@@ -46,6 +47,8 @@ EXECUTION_KNOBS: FrozenSet[str] = frozenset({
     "timeout",      # fault-tolerance: per-shard deadline
     "resume",       # fault-tolerance: journal-driven resume
     "journal",      # fault-tolerance: journal sidecar
+    "verify",       # integrity: digest verification on cache reads
+    "compact_bytes",  # integrity: journal auto-compaction threshold
 })
 
 #: Modules where no code path may consume ambient entropy: retry
@@ -55,6 +58,7 @@ EXECUTION_KNOBS: FrozenSet[str] = frozenset({
 DETERMINISM_MODULES: Tuple[str, ...] = (
     "repro/runtime/faults.py",
     "repro/runtime/chaos.py",
+    "repro/runtime/diskchaos.py",
     "repro/sim/kernels.py",
     "repro/obs/*",
 )
@@ -103,6 +107,8 @@ LOCK_MODULES: Tuple[str, ...] = (
     "repro/runtime/journal.py",
     "repro/runtime/executor.py",
     "repro/runtime/runner.py",
+    "repro/runtime/integrity.py",
+    "repro/runtime/diskchaos.py",
     "repro/obs/metrics.py",
     "repro/obs/trace.py",
 )
@@ -115,9 +121,14 @@ LOCK_MODULES: Tuple[str, ...] = (
 #: everywhere.
 LOCK_GUARDED: Dict[str, Tuple[str, FrozenSet[str]]] = {
     "ResultCache": ("_stats_lock", frozenset({
-        "hits", "misses", "evictions", "_approx_bytes",
+        "hits", "misses", "evictions", "quarantined", "io_errors",
+        "degraded", "_approx_bytes",
     })),
-    "RunJournal": ("_lock", frozenset({"_shards", "_specs", "_handle"})),
+    "RunJournal": ("_lock", frozenset({
+        "_shards", "_specs", "_handle", "_lines_total", "degraded",
+        "compactions",
+    })),
+    "DiskChaos": ("_lock", frozenset({"hits", "_counts", "_total"})),
     "MetricsRegistry": ("_lock", frozenset({
         "_counters", "_gauges", "_histograms",
     })),
@@ -150,4 +161,18 @@ MUTATOR_METHODS: FrozenSet[str] = frozenset({
 SWALLOW_MODULES: Tuple[str, ...] = (
     "repro/runtime/executor.py",
     "repro/runtime/runner.py",
+)
+
+#: Durable-layer modules where an ``except OSError`` that drops the
+#: error on the floor hides disk trouble (a full disk that silently
+#: stops caching, a write that never landed).  Handlers there must
+#: count a metric (``note_storage_error``), warn, re-raise, or at
+#: least bind a fallback value — never just ``pass`` (EXC004).  Narrow
+#: expected-condition catches (``FileNotFoundError``/``FileExistsError``)
+#: are exempt.
+STORAGE_MODULES: Tuple[str, ...] = (
+    "repro/runtime/cache.py",
+    "repro/runtime/journal.py",
+    "repro/runtime/integrity.py",
+    "repro/runtime/diskchaos.py",
 )

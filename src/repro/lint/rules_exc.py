@@ -14,11 +14,22 @@ import ast
 from typing import Iterable, List
 
 from .core import Finding, LintContext, Rule, register
-from .doctrine import SWALLOW_MODULES
+from .doctrine import STORAGE_MODULES, SWALLOW_MODULES
 
-__all__ = ["BareExcept", "SwallowedBroadExcept", "BaseExceptionNoReraise"]
+__all__ = [
+    "BareExcept",
+    "SwallowedBroadExcept",
+    "BaseExceptionNoReraise",
+    "SilentStorageSwallow",
+]
 
 _BROAD = ("Exception", "BaseException")
+
+#: The broad OS-error spellings EXC004 cares about.  Narrow subclasses
+#: (FileNotFoundError, FileExistsError, ...) name one *expected*
+#: condition and may be dropped; catching the whole OSError family and
+#: discarding it hides disk trouble.
+_OS_BROAD = ("OSError", "IOError", "EnvironmentError")
 
 
 def _caught_names(handler: ast.ExceptHandler) -> List[str]:
@@ -90,6 +101,51 @@ class SwallowedBroadExcept(Rule):
                     "broad exception handler discards the error: the "
                     "retry machinery classifies failures by type, so "
                     "record it as a ShardFailure or re-raise",
+                )
+
+
+def _body_discards_error(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler drops the error without any trace: only
+    pass/continue/constant expressions and value-free or constant
+    ``return`` statements.  A handler that binds a fallback, counts a
+    metric, warns, or re-raises is substantive."""
+    for stmt in handler.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+        ):
+            continue  # docstring or Ellipsis
+        if isinstance(stmt, ast.Return) and (
+            stmt.value is None or isinstance(stmt.value, ast.Constant)
+        ):
+            continue
+        return False
+    return True
+
+
+@register
+class SilentStorageSwallow(Rule):
+    id = "EXC004"
+    summary = ("'except OSError' in the durable layer must count, warn, "
+               "or re-raise — never silently drop a disk error")
+    scope = STORAGE_MODULES
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            caught = _caught_names(node)
+            if not any(name in _OS_BROAD or name in _BROAD for name in caught):
+                continue
+            if _body_discards_error(node):
+                yield ctx.finding(
+                    self, node,
+                    "storage-path exception handler discards the error: "
+                    "a full disk or failed write would vanish here — "
+                    "count it (note_storage_error), warn, re-raise, or "
+                    "narrow the catch to the expected condition",
                 )
 
 

@@ -138,7 +138,9 @@ def summarize_spans(spans: Sequence[dict]) -> dict:
     gets = by_name.get("cache.get", ())
     puts = by_name.get("cache.put", ())
     evictions = by_name.get("cache.evict", ())
-    if gets or puts or evictions:
+    quarantines = by_name.get("cache.quarantine", ())
+    degradations = by_name.get("cache.degraded", ())
+    if gets or puts or evictions or quarantines or degradations:
         hits = [s for s in gets if s["attrs"].get("hit")]
         summary["cache"] = {
             "gets": len(gets),
@@ -150,6 +152,11 @@ def summarize_spans(spans: Sequence[dict]) -> dict:
             "evicted_bytes": sum(
                 s["attrs"].get("bytes", 0) for s in evictions
             ),
+            "quarantined": len(quarantines),
+            "quarantined_bytes": sum(
+                s["attrs"].get("bytes", 0) for s in quarantines
+            ),
+            "degraded": bool(degradations),
             "get_seconds": sum(s["dur"] for s in gets),
             "put_seconds": sum(s["dur"] for s in puts),
         }
@@ -267,6 +274,16 @@ def render_summary(summary: dict) -> str:
             f"get_time={_seconds(cache['get_seconds'])} "
             f"put_time={_seconds(cache['put_seconds'])}"
         )
+        if cache.get("quarantined"):
+            lines.append(
+                f"  quarantined={cache['quarantined']} "
+                f"({_bytes(cache.get('quarantined_bytes', 0))}) "
+                f"-- run repro-fsck on the cache directory"
+            )
+        if cache.get("degraded"):
+            lines.append(
+                "  DEGRADED: cache went pass-through after ENOSPC"
+            )
 
     for section in ("kernel", "chainsim"):
         split = summary.get(section)
@@ -324,13 +341,16 @@ def render_metrics(snapshot: dict) -> str:
 def render_cache_stats(stats: dict) -> str:
     """Render :meth:`ResultCache.stats` output as aligned text."""
     rows = [("stat", "value")]
-    for key in ("entries", "hits", "misses", "evictions"):
+    for key in ("entries", "hits", "misses", "evictions", "quarantined",
+                "io_errors"):
         if key in stats:
             rows.append((key, str(stats[key])))
     if "bytes" in stats:
         rows.append(("bytes", _bytes(stats["bytes"])))
     if stats.get("max_bytes") is not None:
         rows.append(("max_bytes", _bytes(stats["max_bytes"])))
+    if stats.get("degraded"):
+        rows.append(("degraded", "yes (pass-through after ENOSPC)"))
     return "cache stats\n" + _rows_to_table(rows)
 
 

@@ -48,10 +48,29 @@ chaos
     :class:`ChaosExecutor` — seeded, deterministic fault injection
     (failures, delays, hangs, corrupt payloads, worker crashes) for
     the differential suites proving all of the above changes no bits.
+integrity
+    End-to-end SHA-256 checksums over every cached artifact (sidecar
+    digests verified on read, mismatches quarantined and recomputed),
+    ENOSPC degradation to pass-through behind
+    :class:`CacheDegradedWarning`, and :func:`fsck` — the scan/repair
+    engine behind the ``repro-fsck`` doctor CLI.
+diskchaos
+    :class:`DiskChaos` — seeded, deterministic *storage* fault
+    injection (torn writes, failed fsyncs, full disks, hard crashes at
+    every write/fsync/rename boundary) for the crash-point sweep
+    suites proving recovery never serves torn bytes.
 """
 
 from .cache import ResultCache
 from .chaos import ChaosExecutor, ChaosSchedule
+from .diskchaos import (
+    DiskChaos,
+    DiskFaultSchedule,
+    SimulatedCrash,
+    crashpoint,
+    using_disk_chaos,
+)
+from .integrity import CacheDegradedWarning, FsckReport, fsck
 from .context import get_default_runtime, set_default_runtime, using_runtime
 from .executor import (
     EXECUTOR_BACKENDS,
@@ -78,8 +97,16 @@ from .spec import SimulationSpec, SystemSpec, spec_fingerprint
 
 __all__ = [
     "ResultCache",
+    "CacheDegradedWarning",
     "ChaosExecutor",
     "ChaosSchedule",
+    "DiskChaos",
+    "DiskFaultSchedule",
+    "FsckReport",
+    "SimulatedCrash",
+    "crashpoint",
+    "fsck",
+    "using_disk_chaos",
     "PoolDegradedWarning",
     "RetryPolicy",
     "RunJournal",

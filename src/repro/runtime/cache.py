@@ -15,6 +15,18 @@ optional ``max_bytes`` budget bounds the directory: once a write
 pushes the stored artifacts over it, least-recently-used entries are
 evicted (and counted in :meth:`ResultCache.stats`).
 
+Integrity (:mod:`repro.runtime.integrity`) closes the end-to-end loop:
+every put records the artifact's SHA-256 in a sidecar and every get
+re-hashes before serving (``verify=False`` opts out; the knob never
+enters fingerprints).  A mismatch — bit rot, torn write that still
+parses, a tampered file — is moved to ``<cache>/quarantine/`` and read
+as a miss, so what the cache serves is always verifiably what was
+written.  A full disk (``ENOSPC``) degrades the cache to pass-through
+behind a :class:`~repro.runtime.integrity.CacheDegradedWarning`
+instead of failing the run, and every write/fsync/rename boundary is
+announced via :func:`repro.runtime.diskchaos.crashpoint` so the chaos
+sweep can prove recovery at each one.
+
 Every operation is safe under concurrent readers and writers — the
 streaming merge path stores each spec's artifact *mid-dispatch* as its
 last shard folds, so on the threads backend puts, gets, and budget
@@ -23,40 +35,51 @@ evictions may interleave freely.
 
 from __future__ import annotations
 
+import errno
 import os
 import pathlib
 import threading
 import time
 import uuid
+import warnings
 from typing import Optional, Union
 
 from ..core.results import EnsembleResult
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..sim.persistence import load_result, save_result
+from .diskchaos import crashpoint
+from .integrity import (
+    _STALE_STAGING_SECONDS,
+    SUMS_DIR,
+    CacheDegradedWarning,
+    artifact_digest,
+    clear_digest,
+    note_storage_error,
+    quarantine_artifact,
+    read_digest,
+    write_digest,
+)
 
 __all__ = ["ResultCache"]
 
 PathLike = Union[str, pathlib.Path]
 
-#: Staging files older than this are leftovers of killed writers and are
-#: swept on cache construction.  Generous on purpose: a *live* writer's
-#: staging file is seconds old, so an hour can only catch the dead.
-_STALE_STAGING_SECONDS = 3600.0
 
-
-def _fsync_path(path: PathLike) -> None:
+def _fsync_path(path: PathLike, point: str = "cache.fsync") -> None:
     """Best-effort fsync of a file or directory (directory fsync is what
     makes an atomic rename durable on POSIX; both are advisory on
-    platforms that refuse)."""
+    platforms that refuse — but a refusal is counted, never silent)."""
     try:
         fd = os.open(str(path), os.O_RDONLY)
     except OSError:
+        note_storage_error("cache", "fsync_open")
         return
     try:
+        crashpoint(point, kind="fsync", path=path)
         os.fsync(fd)
     except OSError:
-        pass
+        note_storage_error("cache", "fsync")
     finally:
         os.close(fd)
 
@@ -76,6 +99,13 @@ class ResultCache:
         never evicted, so a single oversized result still lands and
         simply has the cache to itself.  ``None`` (default) means
         unbounded.
+    verify:
+        Whether :meth:`get` re-hashes artifacts against their recorded
+        SHA-256 before serving (default True).  A mismatch is
+        quarantined and read as a miss; artifacts without a recorded
+        digest (pre-integrity caches) are adopted on first read.  An
+        execution knob: it never enters cache fingerprints, so
+        verified and unverified runs share their artifacts.
 
     Examples
     --------
@@ -94,7 +124,11 @@ class ResultCache:
     """
 
     def __init__(
-        self, directory: PathLike, *, max_bytes: Optional[int] = None
+        self,
+        directory: PathLike,
+        *,
+        max_bytes: Optional[int] = None,
+        verify: bool = True,
     ) -> None:
         self.directory = pathlib.Path(directory)
         if self.directory.exists() and not self.directory.is_dir():
@@ -104,9 +138,16 @@ class ResultCache:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
         self.max_bytes = max_bytes
+        self.verify = verify
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantined = 0
+        self.io_errors = 0
+        # Set once ENOSPC proves the disk full: the cache turns into a
+        # pass-through (gets still serve, puts stop) behind one loud
+        # CacheDegradedWarning, and stats() reports it.
+        self.degraded = False
         # Approximate occupancy for budgeted caches: initialized by one
         # directory scan, then advanced by put sizes so the common
         # under-budget put stays O(1).  Every over-budget rescan (and
@@ -135,6 +176,7 @@ class ResultCache:
                     path.unlink()
                     removed += 1
             except OSError:
+                note_storage_error("cache", "staging_sweep")
                 continue
         return removed
 
@@ -150,7 +192,9 @@ class ResultCache:
     def get(self, key: str) -> Optional[EnsembleResult]:
         """Load the result stored under ``key``, or None on a miss.
 
-        Unreadable artifacts count as misses and are evicted so the
+        Artifacts whose bytes no longer match their recorded SHA-256
+        are quarantined and count as misses (unless ``verify=False``);
+        unreadable artifacts count as misses and are evicted so the
         slot can be rewritten.
         """
         tracer = get_tracer()
@@ -166,6 +210,9 @@ class ResultCache:
     def _get(self, key: str) -> Optional[EnsembleResult]:
         path = self.path_for(key)
         if not path.exists():
+            self._count("misses")
+            return None
+        if self.verify and not self._verify_artifact(key, path):
             self._count("misses")
             return None
         try:
@@ -186,6 +233,7 @@ class ResultCache:
                 removed = 0
             except OSError:
                 removed = 0
+            clear_digest(self.directory, key)
             if removed:
                 # Keep the running occupancy estimate honest: a corrupt
                 # artifact evicted here would otherwise stay counted
@@ -203,9 +251,68 @@ class ResultCache:
                 # recency, so their artifact mtimes are left alone.
                 os.utime(path, None)
             except OSError:
-                pass
+                note_storage_error("cache", "utime")
         self._count("hits")
         return result
+
+    def _verify_artifact(self, key: str, path: pathlib.Path) -> bool:
+        """Whether the artifact's bytes match its recorded digest.
+
+        Artifacts without a recorded digest (written before the
+        integrity layer, or whose sidecar write was torn) are
+        *adopted*: their content digest is recorded so the next read
+        verifies end-to-end.  A mismatch quarantines the artifact and
+        reads as a miss — never served, never silently deleted.
+        """
+        try:
+            actual = artifact_digest(path)
+        except OSError:
+            # Vanished between exists() and open (concurrent eviction)
+            # or unreadable: let the load path classify it.
+            note_storage_error("cache", "digest")
+            return True
+        expected = read_digest(self.directory, key)
+        if expected is None:
+            try:
+                write_digest(self.directory, key, actual)
+            except OSError:
+                note_storage_error("cache", "sum_write")
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("cache.sums_adopted").inc()
+            return True
+        if actual == expected:
+            return True
+        self._quarantine(key, path)
+        return False
+
+    def _quarantine(self, key: str, path: pathlib.Path) -> None:
+        """Move a digest-mismatched artifact out of the serving path.
+
+        Only the caller whose rename wins counts the quarantine and
+        deducts the bytes — concurrent detectors of the same corrupt
+        entry can never double-subtract from the budget.
+        """
+        size = 0
+        if self.max_bytes is not None:
+            try:
+                size = path.stat().st_size
+            except OSError:
+                size = 0
+        if not quarantine_artifact(self.directory, key):
+            return
+        with self._stats_lock:
+            self.quarantined += 1
+            if size and self._approx_bytes is not None:
+                self._approx_bytes = max(0, self._approx_bytes - size)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("cache.quarantined").inc()
+            if size:
+                metrics.counter("cache.quarantined_bytes").inc(size)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.quarantine", key=key[:12], bytes=size)
 
     def _count(self, counter: str) -> None:
         with self._stats_lock:
@@ -224,6 +331,10 @@ class ResultCache:
         random component — so concurrent threads (or processes) racing
         to store the same key each write their own file and the last
         atomic rename wins intact.
+
+        A full disk (``ENOSPC``) degrades the cache to pass-through
+        behind a :class:`CacheDegradedWarning`: this and every further
+        put returns the would-be path without storing anything.
         """
         tracer = get_tracer()
         if tracer.enabled:
@@ -232,42 +343,87 @@ class ResultCache:
                 try:
                     span.set("bytes", path.stat().st_size)
                 except OSError:
-                    pass
+                    note_storage_error("cache", "stat")
             return path
         return self._put(key, result)
 
     def _put(self, key: str, result: EnsembleResult) -> pathlib.Path:
         path = self.path_for(key)
+        if self.degraded:
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("cache.puts_skipped_degraded").inc()
+            return path
+        try:
+            return self._write(key, result, path)
+        except OSError as error:
+            if error.errno == errno.ENOSPC:
+                self._degrade(error)
+                return path
+            with self._stats_lock:
+                self.io_errors += 1
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.counter("cache.io_errors").inc()
+            raise
+
+    def _write(
+        self, key: str, result: EnsembleResult, path: pathlib.Path
+    ) -> pathlib.Path:
         staging = self.directory / ".tmp"
         staging.mkdir(parents=True, exist_ok=True)
         temporary = staging / (
             f"{key}-{os.getpid()}-{threading.get_ident()}"
             f"-{uuid.uuid4().hex[:8]}.npz"
         )
-        written = save_result(result, temporary)
-        # Durability before visibility: the staging bytes are fsync'd
-        # before the rename publishes them, and the directory after, so
-        # a crash (or power cut) can never leave a *visible* artifact
-        # with unwritten tails — a half-staged file just stays in .tmp,
-        # invisible to readers and the byte budget, until swept.
-        _fsync_path(written)
-        replaced = 0
-        if self.max_bytes is not None:
+        try:
+            crashpoint("cache.put.save", kind="write", path=temporary)
+            written = save_result(result, temporary)
+            crashpoint("cache.put.staged", kind="write", path=written)
+            # Durability before visibility: the staging bytes are
+            # fsync'd before the rename publishes them, and the
+            # directory after, so a crash (or power cut) can never
+            # leave a *visible* artifact with unwritten tails — a
+            # half-staged file just stays in .tmp, invisible to readers
+            # and the byte budget, until swept.
+            _fsync_path(written, point="cache.put.fsync")
+            # The digest is recorded before the artifact is published,
+            # so no reader ever sees an artifact whose sidecar write is
+            # still pending.  A crash between the two is safe either
+            # way: same-key artifacts are byte-identical by doctrine,
+            # so an early sidecar matches whatever artifact it meets,
+            # and a sidecar without any artifact is just an orphan for
+            # fsck to sweep.
+            write_digest(self.directory, key, artifact_digest(written))
+            replaced = 0
+            if self.max_bytes is not None:
+                try:
+                    # Same-key overwrite: the bytes being replaced
+                    # leave the directory with the rename and must not
+                    # stay counted.
+                    replaced = path.stat().st_size
+                except OSError:
+                    replaced = 0
+            crashpoint("cache.put.replace", kind="replace", path=written)
+            os.replace(written, path)
+        except OSError:
+            # A *failed* (not crashed) put cleans up after itself
+            # rather than pinning the staging file until the age sweep.
             try:
-                # Same-key overwrite: the bytes being replaced leave the
-                # directory with the rename and must not stay counted.
-                replaced = path.stat().st_size
+                temporary.unlink()
+            except FileNotFoundError:
+                pass
             except OSError:
-                replaced = 0
-        os.replace(written, path)
-        _fsync_path(self.directory)
+                note_storage_error("cache", "staging_cleanup")
+            raise
+        _fsync_path(self.directory, point="cache.put.dirsync")
         metrics = get_metrics()
         if metrics.enabled:
             metrics.counter("cache.puts").inc()
             try:
                 metrics.counter("cache.put_bytes").inc(path.stat().st_size)
             except OSError:
-                pass
+                note_storage_error("cache", "stat")
         if self.max_bytes is not None:
             try:
                 added = path.stat().st_size - replaced
@@ -283,12 +439,34 @@ class ResultCache:
                 self._evict_over_budget(keep=path)
         return path
 
+    def _degrade(self, error: OSError) -> None:
+        """Flip to pass-through after ENOSPC — loudly, exactly once."""
+        with self._stats_lock:
+            already = self.degraded
+            self.degraded = True
+        if already:
+            return
+        warnings.warn(
+            f"result cache at {str(self.directory)!r} degraded to "
+            f"pass-through after ENOSPC ({error}); results keep "
+            "computing but are no longer stored",
+            CacheDegradedWarning,
+            stacklevel=4,
+        )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("cache.degraded").inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event("cache.degraded")
+
     def _scan_bytes(self) -> int:
         total = 0
         for path in self.directory.glob("*.npz"):
             try:
                 total += path.stat().st_size
             except OSError:
+                note_storage_error("cache", "stat")
                 continue
         return total
 
@@ -305,6 +483,7 @@ class ResultCache:
             try:
                 stat = path.stat()
             except OSError:
+                note_storage_error("cache", "stat")
                 continue
             entries.append((stat.st_mtime, stat.st_size, path))
         total = sum(size for _, size, _ in entries)
@@ -325,7 +504,9 @@ class ResultCache:
                     total -= size
                     continue
                 except OSError:
+                    note_storage_error("cache", "evict")
                     continue
+                clear_digest(self.directory, path.stem)
                 total -= size
                 self._count("evictions")
                 metrics = get_metrics()
@@ -355,8 +536,12 @@ class ResultCache:
                 size = 0
         try:
             path.unlink()
-        except OSError:
+        except FileNotFoundError:
             return False
+        except OSError:
+            note_storage_error("cache", "discard")
+            return False
+        clear_digest(self.directory, key)
         if size:
             with self._stats_lock:
                 if self._approx_bytes is not None:
@@ -364,9 +549,13 @@ class ResultCache:
         return True
 
     def stats(self) -> dict:
-        """Counters and occupancy: hits, misses, evictions, entries, bytes."""
+        """Counters and occupancy: hits, misses, evictions, quarantined,
+        io_errors, degraded, entries, bytes."""
         with self._stats_lock:
             hits, misses, evictions = self.hits, self.misses, self.evictions
+            quarantined = self.quarantined
+            io_errors = self.io_errors
+            degraded = self.degraded
         entries = 0
         total = 0
         if self.directory.exists():
@@ -374,20 +563,26 @@ class ResultCache:
                 try:
                     total += path.stat().st_size
                 except OSError:
+                    note_storage_error("cache", "stat")
                     continue
                 entries += 1
         return {
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "quarantined": quarantined,
+            "io_errors": io_errors,
+            "degraded": degraded,
             "entries": entries,
             "bytes": total,
             "max_bytes": self.max_bytes,
         }
 
     def clear(self) -> int:
-        """Delete every artifact (and staging leftovers); returns the
-        number of entries removed, staging leftovers included."""
+        """Delete every artifact (and staging leftovers, and digest
+        sidecars); returns the number of entries removed, staging
+        leftovers included (sidecars are not counted — they shadow
+        their artifacts)."""
         removed = 0
         if self.directory.exists():
             for path in self.directory.glob("*.npz"):
@@ -396,6 +591,8 @@ class ResultCache:
             for path in self.directory.glob(".tmp/*.npz"):
                 path.unlink()
                 removed += 1
+            for path in self.directory.glob(f"{SUMS_DIR}/*.sha256"):
+                path.unlink()
         with self._stats_lock:
             self._approx_bytes = 0
         return removed
@@ -407,8 +604,9 @@ class ResultCache:
 
     def __repr__(self) -> str:
         budget = "" if self.max_bytes is None else f", max_bytes={self.max_bytes}"
+        degraded = ", degraded" if self.degraded else ""
         return (
             f"ResultCache({str(self.directory)!r}, entries={len(self)}, "
             f"hits={self.hits}, misses={self.misses}, "
-            f"evictions={self.evictions}{budget})"
+            f"evictions={self.evictions}{budget}{degraded})"
         )

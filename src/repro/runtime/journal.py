@@ -15,32 +15,50 @@ Design points:
 * **Append-only, fsync'd per record.**  A ``kill -9`` can at worst
   leave one torn trailing line, which :meth:`RunJournal.load` skips —
   the corresponding shard simply recomputes.  Nothing ever rewrites
-  earlier records, so the journal can not be "half updated".
+  earlier records mid-run, so the journal can not be "half updated".
 * **Advisory, never authoritative.**  Every journal entry is checked
   against the cache at load time: a journaled shard whose artifact was
   evicted (or corrupted) is recomputed.  Deleting the journal is always
-  safe — it only costs recomputation.
+  safe — it only costs recomputation.  The same stance covers a full
+  disk: an ``ENOSPC`` on append degrades journaling to a no-op behind
+  a loud :class:`~repro.runtime.integrity.CacheDegradedWarning` rather
+  than failing the run.
 * **Keyed by fingerprints.**  Spec fingerprints cover every physics
   knob and the shard count, so a journal can never resume the wrong
   work; retry/timeout/resume knobs never enter fingerprints (doctrine),
   so a resumed run shares its artifacts with an uninterrupted one.
+* **Bounded by compaction.**  Shard records of finished specs (and
+  skipped garbage) are dead weight; once the file passes
+  ``compact_bytes`` *and* at least half its records are dead,
+  :meth:`compact` rewrites just the live state through a temp file, an
+  fsync and an atomic rename — crash-safe at every step (the chaos
+  sweep proves it), and a stale compaction temp is swept on open.
 """
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import io
 import json
 import os
 import pathlib
 import threading
-from typing import Dict, Optional, Set, Union
+import warnings
+from typing import Dict, List, Optional, Set, Union
+
+from .diskchaos import crashpoint
+from .integrity import CacheDegradedWarning, note_storage_error
 
 __all__ = ["RunJournal", "shard_fingerprint"]
 
 JOURNAL_SCHEMA = "repro-journal/v1"
 
 PathLike = Union[str, pathlib.Path]
+
+#: Default auto-compaction threshold: below this file size the journal
+#: is never rewritten (compaction is pure overhead for short runs).
+_DEFAULT_COMPACT_BYTES = 1 << 20
 
 
 def shard_fingerprint(spec_key: str, ordinal: int) -> str:
@@ -67,6 +85,13 @@ class RunJournal:
         Journal file; created (with a schema header line) on first
         append.  An existing file is loaded leniently — torn or
         malformed trailing lines are ignored, not fatal.
+    compact_bytes:
+        Auto-compaction threshold: once the file reaches this size and
+        at least half its records are dead (shards of finished specs,
+        skipped garbage), the journal is rewritten to just the live
+        records via temp+fsync+rename.  ``None`` disables
+        auto-compaction (:meth:`compact` still works).  An execution
+        knob — never part of any fingerprint.
 
     Examples
     --------
@@ -80,18 +105,45 @@ class RunJournal:
     ({0: 'shard-key-0'}, True)
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        compact_bytes: Optional[int] = _DEFAULT_COMPACT_BYTES,
+    ) -> None:
+        if compact_bytes is not None and compact_bytes <= 0:
+            raise ValueError(
+                f"compact_bytes must be positive, got {compact_bytes!r}"
+            )
         self.path = pathlib.Path(path)
+        self.compact_bytes = compact_bytes
         self._lock = threading.Lock()
         self._handle: Optional[io.TextIOWrapper] = None
         self._shards: Dict[str, Dict[int, str]] = {}
         self._specs: Set[str] = set()
         self.recovered_records = 0
         self.skipped_lines = 0
+        self.compactions = 0
+        self.degraded = False
+        #: Record lines on disk (header excluded), live or dead — the
+        #: denominator of the auto-compaction dead ratio.
+        self._lines_total = 0
+        self._sweep_compaction_temps()
         if self.path.exists():
             self._load()
 
     # -- reading ---------------------------------------------------------
+
+    def _sweep_compaction_temps(self) -> None:
+        """Remove temps a compaction crashed before renaming."""
+        parent = self.path.parent
+        if not parent.is_dir():
+            return
+        for stale in parent.glob(self.path.name + ".compact-*"):
+            try:
+                stale.unlink()
+            except OSError:
+                note_storage_error("journal", "temp_sweep")
 
     def _load(self) -> None:
         """Replay an existing journal, tolerating torn trailing lines."""
@@ -108,16 +160,22 @@ class RunJournal:
                         # torn line; skipping it only costs recomputing
                         # that shard.
                         self.skipped_lines += 1
+                        self._lines_total += 1  # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
                         continue
                     self._replay(record)
         except OSError:
+            note_storage_error("journal", "load")
             return
 
     def _replay(self, record) -> None:
         if not isinstance(record, dict):
             self.skipped_lines += 1
+            self._lines_total += 1  # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
             return
         kind = record.get("e")
+        if kind == "header":
+            return
+        self._lines_total += 1  # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
         if kind == "shard":
             spec = record.get("spec")
             ordinal = record.get("shard")
@@ -138,10 +196,16 @@ class RunJournal:
             if isinstance(spec, str):
                 # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
                 self._specs.add(spec)
+                # Mirror record_spec: a finished spec's shard records
+                # are dead weight — drop them so replayed journals do
+                # not pin every historical shard key (and so the
+                # live-record census compaction relies on is exact).
+                # repro-lint: disable=LCK001  # replay runs inside __init__, before the journal is shared with any thread
+                self._shards.pop(spec, None)
                 self.recovered_records += 1
             else:
                 self.skipped_lines += 1
-        elif kind != "header":
+        else:
             self.skipped_lines += 1
 
     def completed_shards(self, spec_key: str) -> Dict[int, str]:
@@ -157,23 +221,60 @@ class RunJournal:
     # -- writing ---------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        """Append one record, flushed and fsync'd so it survives a kill."""
+        """Append one record, flushed and fsync'd so it survives a kill.
+
+        ``ENOSPC`` degrades the journal to a no-op (advisory data is
+        not worth failing the run for); any other write error is
+        counted and raised.
+        """
         with self._lock:
-            if self._handle is None or self._handle.closed:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                fresh = not self.path.exists() or self.path.stat().st_size == 0
-                self._handle = open(self.path, "a")
-                if fresh:
-                    header = json.dumps(
-                        {"e": "header", "schema": JOURNAL_SCHEMA}
-                    )
-                    self._handle.write(header + "\n")
-            self._handle.write(json.dumps(record) + "\n")
-            self._handle.flush()
+            if self.degraded:
+                return
             try:
+                if self._handle is None or self._handle.closed:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    fresh = (
+                        not self.path.exists()
+                        or self.path.stat().st_size == 0
+                    )
+                    self._handle = open(self.path, "a")
+                    if fresh:
+                        header = json.dumps(
+                            {"e": "header", "schema": JOURNAL_SCHEMA}
+                        )
+                        self._handle.write(header + "\n")
+                crashpoint("journal.append.write", kind="write", path=self.path)
+                self._handle.write(json.dumps(record) + "\n")
+                self._handle.flush()
+            except OSError as error:
+                if error.errno == errno.ENOSPC:
+                    self._degrade_locked(error)
+                    return
+                note_storage_error("journal", "append")
+                raise
+            self._lines_total += 1
+            # The flushed line is on disk (durability pending): this is
+            # where a crash leaves a torn trailing line for _load to skip.
+            crashpoint("journal.append.written", kind="write", path=self.path)
+            try:
+                crashpoint("journal.append.fsync", kind="fsync", path=self.path)
                 os.fsync(self._handle.fileno())
             except OSError:
-                pass
+                note_storage_error("journal", "fsync")
+
+    def _degrade_locked(self, error: OSError) -> None:
+        """Stop journaling after ENOSPC — loudly (caller holds the lock)."""
+        self.degraded = True  # repro-lint: disable=LCK001  # only called from _append, which holds self._lock
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None  # repro-lint: disable=LCK001  # only called from _append, which holds self._lock
+        warnings.warn(
+            f"run journal at {str(self.path)!r} degraded to no-op after "
+            f"ENOSPC ({error}); the run continues but will not resume "
+            "from this point",
+            CacheDegradedWarning,
+            stacklevel=5,
+        )
 
     def record_shard(self, spec_key: str, ordinal: int, shard_key: str) -> None:
         """Journal one completed shard (its artifact is in the cache)."""
@@ -182,6 +283,7 @@ class RunJournal:
         )
         with self._lock:
             self._shards.setdefault(spec_key, {})[ordinal] = shard_key
+        self._maybe_compact()
 
     def record_spec(self, spec_key: str) -> None:
         """Journal a fully merged spec (its artifact is in the cache)."""
@@ -192,6 +294,124 @@ class RunJournal:
             # resume purposes; dropping the in-memory copy keeps
             # long-lived journals from pinning every shard key.
             self._shards.pop(spec_key, None)
+        self._maybe_compact()
+
+    # -- compaction ------------------------------------------------------
+
+    def _live_count_locked(self) -> int:
+        return len(self._specs) + sum(
+            len(per_spec) for per_spec in self._shards.values()
+        )
+
+    def _rewrite_locked(self) -> None:
+        """Rewrite the file to header + live records, atomically.
+
+        Caller holds ``self._lock`` and has already detached
+        ``self._handle``.  Spec records come first so a replay drops
+        dead shard records the moment it sees them; everything is
+        sorted so two compactions of the same state are byte-identical.
+        """
+        records = [json.dumps({"e": "header", "schema": JOURNAL_SCHEMA})]
+        for spec in sorted(self._specs):
+            records.append(json.dumps({"e": "spec", "spec": spec}))
+        for spec in sorted(self._shards):
+            for ordinal in sorted(self._shards[spec]):
+                records.append(json.dumps({
+                    "e": "shard",
+                    "spec": spec,
+                    "shard": ordinal,
+                    "key": self._shards[spec][ordinal],
+                }))
+        temporary = self.path.with_name(
+            f"{self.path.name}.compact-{os.getpid()}-{threading.get_ident()}"
+        )
+        try:
+            crashpoint("journal.compact.write", kind="write", path=temporary)
+            with open(temporary, "w") as handle:
+                handle.write("\n".join(records) + "\n")
+                handle.flush()
+                crashpoint(
+                    "journal.compact.staged", kind="write", path=temporary
+                )
+                try:
+                    crashpoint(
+                        "journal.compact.fsync", kind="fsync", path=temporary
+                    )
+                    os.fsync(handle.fileno())
+                except OSError:
+                    note_storage_error("journal", "fsync")
+            crashpoint("journal.compact.replace", kind="replace", path=temporary)
+            os.replace(temporary, self.path)
+        except OSError:
+            try:
+                temporary.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError:
+                note_storage_error("journal", "temp_cleanup")
+            raise
+
+    def _compact_locked(self) -> None:
+        """Compact now (caller holds the lock); raises OSError on failure."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None  # repro-lint: disable=LCK001  # callers (compact, _maybe_compact) hold self._lock
+        self._rewrite_locked()
+        self._lines_total = self._live_count_locked()  # repro-lint: disable=LCK001  # callers (compact, _maybe_compact) hold self._lock
+        self.compactions += 1  # repro-lint: disable=LCK001  # callers (compact, _maybe_compact) hold self._lock
+
+    def _maybe_compact(self) -> None:
+        """Auto-compact once the file is big *and* mostly dead records.
+
+        Failures are swallowed (counted): auto-compaction is an
+        optimization, and the append-only journal underneath is intact
+        whether or not the rewrite lands.
+        """
+        if self.compact_bytes is None:
+            return
+        with self._lock:
+            if self.degraded:
+                return
+            try:
+                size = self.path.stat().st_size
+            except OSError:
+                note_storage_error("journal", "stat")
+                return
+            if size < self.compact_bytes:
+                return
+            live = self._live_count_locked()
+            dead = self._lines_total - live
+            if self._lines_total <= 0 or dead * 2 < self._lines_total:
+                return
+            try:
+                self._compact_locked()
+            except OSError:
+                note_storage_error("journal", "compact")
+
+    def compact(self) -> int:
+        """Rewrite the journal down to its live records, atomically.
+
+        Drops shard records of finished specs, duplicate records and
+        skipped garbage; the resulting file replays to exactly the
+        current in-memory state.  Returns the number of bytes
+        reclaimed.  Raises ``OSError`` if the rewrite fails (the
+        original journal is intact either way).
+        """
+        with self._lock:
+            if not self.path.exists():
+                return 0
+            try:
+                before = self.path.stat().st_size
+            except OSError:
+                note_storage_error("journal", "stat")
+                before = 0
+            self._compact_locked()
+            try:
+                after = self.path.stat().st_size
+            except OSError:
+                note_storage_error("journal", "stat")
+                after = 0
+        return max(0, before - after)
 
     def close(self) -> None:
         with self._lock:

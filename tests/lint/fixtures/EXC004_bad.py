@@ -1,0 +1,9 @@
+"""Bad: a storage-path handler that drops the disk error on the floor."""
+import os
+
+
+def remove_stale(path):
+    try:
+        os.unlink(path)
+    except OSError:
+        return False

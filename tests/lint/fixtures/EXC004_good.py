@@ -1,0 +1,15 @@
+"""Good: the expected condition is narrowed; real disk trouble is counted."""
+import os
+
+from repro.runtime.integrity import note_storage_error
+
+
+def remove_stale(path):
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        return False  # already gone: the goal state, not an error
+    except OSError:
+        note_storage_error("cache", "unlink")
+        return False
+    return True

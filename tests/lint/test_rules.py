@@ -39,6 +39,7 @@ CASES = {
     "EXC001": "repro/runtime/executor.py",
     "EXC002": "repro/runtime/executor.py",
     "EXC003": "repro/runtime/executor.py",
+    "EXC004": "repro/runtime/cache.py",
 }
 
 

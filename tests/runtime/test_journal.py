@@ -288,3 +288,154 @@ class TestResume:
         spec = make_spec()
         runner.run(spec, shards=4)
         assert runner.journal.is_complete(spec_fingerprint(spec, shards=4))
+
+
+class TestLoadEdgeCases:
+    def test_duplicate_shard_records_last_wins(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record_shard("s", 0, "first-key")
+        journal.record_shard("s", 0, "second-key")
+        journal.close()
+        reloaded = RunJournal(path)
+        assert reloaded.completed_shards("s") == {0: "second-key"}
+
+    def test_interleaved_specs_replay_independently(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record_shard("s-a", 0, "a0")
+        journal.record_shard("s-b", 0, "b0")
+        journal.record_shard("s-a", 1, "a1")
+        journal.record_spec("s-b")
+        journal.record_shard("s-a", 2, "a2")
+        journal.close()
+        reloaded = RunJournal(path)
+        assert reloaded.completed_shards("s-a") == {
+            0: "a0", 1: "a1", 2: "a2",
+        }
+        assert reloaded.is_complete("s-b")
+        # s-b finished: its shard records are dead weight, dropped.
+        assert reloaded.completed_shards("s-b") == {}
+
+    def test_torn_midfile_line_followed_by_valid_records(self, tmp_path):
+        """A tear that cuts a *middle* line (a compaction temp torn and
+        appended to, or filesystem damage) must not take down the valid
+        records after it."""
+        path = tmp_path / "journal.jsonl"
+        path.write_text(
+            '{"e": "header", "schema": "repro-journal/v1"}\n'
+            '{"e": "shard", "spec": "s", "sha\n'
+            '{"e": "shard", "spec": "s", "shard": 1, "key": "k1"}\n'
+            '{"e": "spec", "spec": "t"}\n'
+        )
+        journal = RunJournal(path)
+        assert journal.completed_shards("s") == {1: "k1"}
+        assert journal.is_complete("t")
+        assert journal.skipped_lines == 1
+
+    def test_zero_byte_journal_loads_and_appends_header(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.touch()
+        journal = RunJournal(path)
+        assert journal.recovered_records == 0
+        assert journal.skipped_lines == 0
+        journal.record_shard("s", 0, "k")
+        journal.close()
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["e"] == "header"
+        assert len(lines) == 2
+
+
+class TestCompaction:
+    def test_compact_reclaims_bytes_and_replays_identically(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path, compact_bytes=None)
+        for ordinal in range(8):
+            journal.record_shard("s-done", ordinal, f"k{ordinal}")
+        journal.record_spec("s-done")
+        journal.record_shard("s-live", 0, "live-key")
+        before = path.stat().st_size
+        reclaimed = journal.compact()
+        assert reclaimed > 0
+        assert path.stat().st_size == before - reclaimed
+        assert journal.compactions == 1
+        journal.close()
+        reloaded = RunJournal(path)
+        assert reloaded.is_complete("s-done")
+        assert reloaded.completed_shards("s-live") == {0: "live-key"}
+        assert reloaded.skipped_lines == 0
+
+    def test_compact_missing_file_is_zero(self, tmp_path):
+        journal = RunJournal(tmp_path / "never-written.jsonl")
+        assert journal.compact() == 0
+        assert journal.compactions == 0
+
+    def test_compact_is_idempotent(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path, compact_bytes=None)
+        journal.record_shard("s", 0, "k")
+        journal.record_spec("s")
+        journal.compact()
+        first = path.read_bytes()
+        assert journal.compact() == 0
+        assert path.read_bytes() == first
+
+    def test_auto_compaction_triggers_on_size_and_dead_ratio(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path, compact_bytes=1)
+        journal.record_shard("s", 0, "k0")
+        journal.record_shard("s", 1, "k1")
+        # All records live: over the size threshold but nothing to
+        # reclaim, so no compaction yet.
+        assert journal.compactions == 0
+        journal.record_spec("s")
+        # Now two of three records are dead -> auto-compacted.
+        assert journal.compactions == 1
+        journal.close()
+        reloaded = RunJournal(path)
+        assert reloaded.is_complete("s")
+        assert reloaded.recovered_records == 1
+
+    def test_auto_compaction_disabled_below_threshold(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path, compact_bytes=1 << 20)
+        journal.record_shard("s", 0, "k0")
+        journal.record_spec("s")
+        assert journal.compactions == 0
+
+    def test_auto_compaction_none_disables(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl", compact_bytes=None)
+        journal.record_shard("s", 0, "k0")
+        journal.record_spec("s")
+        assert journal.compactions == 0
+        assert journal.compact() > 0  # manual compaction still works
+
+    def test_compact_bytes_is_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunJournal(tmp_path / "journal.jsonl", compact_bytes=0)
+
+    def test_stale_compaction_temp_is_swept_on_open(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record_shard("s", 0, "k")
+        journal.close()
+        stale = tmp_path / "journal.jsonl.compact-1234-5678"
+        stale.write_text("torn compaction temp")
+        reloaded = RunJournal(path)
+        assert not stale.exists()
+        assert reloaded.completed_shards("s") == {0: "k"}
+
+    def test_writes_after_compaction_append_to_the_new_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path, compact_bytes=None)
+        journal.record_shard("s", 0, "k0")
+        journal.record_spec("s")
+        journal.compact()
+        journal.record_shard("t", 0, "t0")
+        journal.close()
+        reloaded = RunJournal(path)
+        assert reloaded.is_complete("s")
+        assert reloaded.completed_shards("t") == {0: "t0"}
+        lines = path.read_text().splitlines()
+        headers = [l for l in lines if json.loads(l).get("e") == "header"]
+        assert len(headers) == 1

@@ -67,7 +67,18 @@ Demonstrates the ways to use the runtime layer:
     silently deleted) and the slot recomputes bit-identically; a
     full disk degrades the cache to pass-through behind a loud
     warning instead of failing the run; ``repro-fsck --repair``
-    scans and heals a cache+journal tree offline.
+    scans and heals a cache+journal tree offline,
+
+12. sufficient-statistics ensembles (``reduce="stats"``, the CLI's
+    ``--reduce stats``): shards fold straight into mergeable moments,
+    fixed-grid CDF sketches, and exact event counters instead of the
+    ``(trials, checkpoints, miners)`` trajectory cube, so
+    population-scale trial counts run in memory bounded by one shard
+    — and the figure-facing numbers (unfair-probability series at the
+    recorded epsilon, win/monopolisation counters) are bit-identical
+    to full mode at the same shard plan.  ``reduce`` is a *physics*
+    knob: unlike ``kernel``/``fast``/``stream`` it enters cache
+    fingerprints, so the two artifact shapes never share an entry.
 
 How the knobs compose: the kernel attacks per-round *depth*, workers
 attack ensemble *breadth*.  Start with ``workers=1`` + the default
@@ -400,6 +411,39 @@ def main() -> None:
               f"{identical and np.array_equal(healed.reward_fractions, clean.reward_fractions)}, "
               f"fsck clean={report.clean} "
               f"(quarantine holds {report.quarantine_entries} entry)")
+
+    # 12. Sufficient statistics: the same big ensemble as section 7,
+    #     but the shards never assemble into a trajectory cube —
+    #     each folds into count/mean/M2 moments, 1024-bin CDF
+    #     sketches, and exact unfair/win/monopolisation counters, so
+    #     the parent's peak memory is bounded by one shard no matter
+    #     the trial count.  The figure queries come back exact: at
+    #     the recorded epsilon the unfair series is bit-identical to
+    #     full mode at the same shard plan.  This is what
+    #     `repro-experiments fig3 --workers 4 --reduce stats` does.
+    #     Asking a stats artifact for raw trajectories raises with a
+    #     hint to rerun under reduce='full' — no silent approximation.
+    import dataclasses
+
+    full_big = ParallelRunner(workers=1).run(big, shards=32)
+    stats_spec = dataclasses.replace(big, reduce="stats")
+    tracemalloc.start()
+    stats_big = ParallelRunner(workers=1).run(stats_spec, shards=32)
+    _, stats_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    series_identical = np.array_equal(
+        full_big.unfair_probabilities(epsilon=0.1),
+        stats_big.unfair_probabilities(epsilon=0.1),
+    )
+    try:
+        stats_big.fractions_of(0)
+        refused = False
+    except TypeError:
+        refused = True
+    print(f"reduce='stats' on the 100k-trial ensemble: peak "
+          f"{stats_peak / 1e6:.0f} MB (vs {peaks['stream'] / 1e6:.0f} MB "
+          f"streaming full mode), unfair series bit-identical = "
+          f"{series_identical}, trajectory access refused = {refused}")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ _LONG_DESCRIPTION = (
 
 setup(
     name="repro-blockchain-fairness",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Fairness analysis for blockchain incentives — SIGMOD 2021 "
         "reproduction"

@@ -12,6 +12,9 @@ metrics
     decentralisation indices.
 results
     :class:`EnsembleResult` — structured Monte Carlo output.
+stats
+    :class:`StatsSummary` — the ``reduce="stats"`` counterpart:
+    mergeable sufficient statistics in O(1) memory per shard.
 game
     :class:`MiningGame` — the one-call facade combining simulation,
     empirical verdicts and theoretical predictions.
@@ -39,7 +42,8 @@ from .metrics import (
     unfair_probability_series,
 )
 from .miners import Allocation, Miner
-from .results import EnsembleResult, SeriesSummary
+from .results import EnsembleResult, MergeAccumulator, SeriesSummary, merge_parts
+from .stats import MomentView, StatsCollector, StatsSummary
 
 __all__ = [
     "DEFAULT_DELTA",
@@ -65,5 +69,10 @@ __all__ = [
     "Allocation",
     "Miner",
     "EnsembleResult",
+    "MergeAccumulator",
     "SeriesSummary",
+    "merge_parts",
+    "MomentView",
+    "StatsCollector",
+    "StatsSummary",
 ]

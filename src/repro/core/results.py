@@ -5,11 +5,18 @@ need: the reward fraction ``lambda`` of every miner in every trial at a
 set of checkpoints, plus terminal stake shares.  It offers the derived
 series that Figures 2-6 plot (sample mean, percentile envelope, unfair
 probability) and the summary statistics of Table 1.
+
+The full trajectory cube costs ``trials x checkpoints x miners``
+doubles (~1.8 GB at 10M trials).  Runs past ~1M trials should use
+``reduce="stats"`` instead, which keeps only mergeable sufficient
+statistics (:class:`repro.core.stats.StatsSummary`) with the same
+figure-facing API at O(1) memory per shard.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
@@ -31,7 +38,7 @@ from .metrics import (
 )
 from .miners import Allocation
 
-__all__ = ["EnsembleResult", "MergeAccumulator", "SeriesSummary"]
+__all__ = ["EnsembleResult", "MergeAccumulator", "SeriesSummary", "merge_parts"]
 
 
 @dataclass(frozen=True)
@@ -270,10 +277,28 @@ class EnsembleResult:
         return self.fractions_of(miner)[:, -1]
 
     def terminal_stake_shares(self) -> np.ndarray:
-        """Final stake shares, shape ``(trials, miners)``."""
+        """Final stake shares, shape ``(trials, miners)``.
+
+        Trials whose total terminal stake is zero (possible under full
+        withholding / zero-issuance configurations) have no holder:
+        their share rows are reported as all zeros — with a
+        :class:`RuntimeWarning` — instead of the NaN/inf a bare
+        division would produce.  Such rows count as non-monopolised in
+        :meth:`monopolisation_probability`.
+        """
         if self.terminal_stakes is None:
             raise ValueError("this result did not record terminal stakes")
         totals = self.terminal_stakes.sum(axis=1, keepdims=True)
+        zero_rows = totals <= 0.0
+        if np.any(zero_rows):
+            warnings.warn(
+                f"{int(np.count_nonzero(zero_rows))} trial(s) have zero total "
+                "terminal stake; their shares are reported as 0 (no holder)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            safe_totals = np.where(zero_rows, 1.0, totals)
+            return np.where(zero_rows, 0.0, self.terminal_stakes / safe_totals)
         return self.terminal_stakes / totals
 
     # -- figure series ------------------------------------------------------
@@ -393,15 +418,27 @@ class _MergeTemplate:
 
 
 class MergeAccumulator:
-    """Incremental, bounded-memory equivalent of :meth:`EnsembleResult.merge`.
+    """Incremental, bounded-memory equivalent of the batch merge.
 
     Feed shard results in plan order through :meth:`add` (or
     :meth:`EnsembleResult.merge_into`); :meth:`result` returns the
     merged ensemble.  The folded output is **byte-identical** to
-    ``EnsembleResult.merge(parts)`` for the same part order — the
-    accumulator simply writes each part's trials into their final
-    position as they arrive instead of holding every part alive until a
-    terminal concatenate.
+    ``merge_parts(parts)`` for the same part order.  For
+    :class:`EnsembleResult` parts the accumulator writes each part's
+    trials into their final position as they arrive instead of holding
+    every part alive until a terminal concatenate; for
+    :class:`~repro.core.stats.StatsSummary` parts it keeps one running
+    summary, so the whole fold is O(1) in the trial count.
+
+    Parts must carry at least one trial — a zero-trial part cannot come
+    out of ``plan_shards`` (which clamps every shard to >= 1 trial), so
+    accepting one would mean a corrupted shard payload; :meth:`add`
+    rejects it.
+
+    After :meth:`result` the accumulator is *finalized*: repeated
+    :meth:`result` calls return the **same** object, and further
+    :meth:`add` calls raise — the preallocated buffers were adopted by
+    the returned ensemble, so reuse would silently mutate it.
 
     Parameters
     ----------
@@ -412,8 +449,9 @@ class MergeAccumulator:
         released by the caller, so peak memory is one merged ensemble
         plus a single in-flight part — this is what makes the runtime's
         streaming merge O(workers) instead of O(shards) in working-set.
-        When None, parts are staged and folded by a terminal
-        :meth:`EnsembleResult.merge` (no memory bound, same bytes).
+        When None, full parts are staged and folded by a terminal
+        :meth:`EnsembleResult.merge` (no memory bound, same bytes);
+        stats parts fold incrementally either way.
 
     Examples
     --------
@@ -437,8 +475,10 @@ class MergeAccumulator:
         self._parts: list = []  # staging for the unbounded fallback
         self._fractions: Optional[np.ndarray] = None
         self._terminal: Optional[np.ndarray] = None
+        self._stats = None  # running StatsSummary fold
         self._offset = 0
         self._count = 0
+        self._final = None  # the adopted result once finalized
 
     @property
     def count(self) -> int:
@@ -457,11 +497,36 @@ class MergeAccumulator:
             return self._count > 0
         return self._offset == self.expected_trials
 
-    def add(self, part: EnsembleResult) -> "MergeAccumulator":
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`result` has been called."""
+        return self._final is not None
+
+    def add(self, part) -> "MergeAccumulator":
         """Fold the next part, in plan order; returns self for chaining."""
-        if not isinstance(part, EnsembleResult):
+        from .stats import StatsSummary
+
+        if self._final is not None:
+            raise RuntimeError(
+                "MergeAccumulator is finalized: result() already adopted the "
+                "merged buffers, create a new accumulator instead"
+            )
+        if not isinstance(part, (EnsembleResult, StatsSummary)):
             raise TypeError(
-                f"can only accumulate EnsembleResults, got {type(part).__name__}"
+                f"can only accumulate EnsembleResults or StatsSummaries, "
+                f"got {type(part).__name__}"
+            )
+        if part.trials == 0:
+            raise ValueError(
+                "cannot accumulate a zero-trial part: plan_shards clamps "
+                "every shard to >= 1 trial, so an empty part means a "
+                "corrupted payload"
+            )
+        if isinstance(part, StatsSummary):
+            return self._add_stats(part)
+        if self._stats is not None:
+            raise TypeError(
+                "cannot mix EnsembleResult parts into a StatsSummary fold"
             )
         if self._template is None:
             self._template = _MergeTemplate(
@@ -505,33 +570,71 @@ class MergeAccumulator:
         self._count += 1
         return self
 
-    def result(self) -> EnsembleResult:
+    def _add_stats(self, part) -> "MergeAccumulator":
+        """Fold a StatsSummary part: one running summary, O(1) memory."""
+        if self._template is not None or self._parts:
+            raise TypeError(
+                "cannot mix StatsSummary parts into an EnsembleResult fold"
+            )
+        if (
+            self.expected_trials is not None
+            and self._offset + part.trials > self.expected_trials
+        ):
+            raise ValueError(
+                f"accumulated {self._offset + part.trials} trials, more than "
+                f"the expected {self.expected_trials}"
+            )
+        if self._stats is None:
+            self._stats = part
+        else:
+            # Pairwise left fold: the exact operation sequence of
+            # StatsSummary.merge(parts) in the same order, so the
+            # streamed fold is bit-identical to the batch merge.
+            self._stats = self._stats._merged_with(part)
+        self._offset += part.trials
+        self._count += 1
+        return self
+
+    def result(self):
         """The merged ensemble; byte-identical to the batch merge.
 
         Raises if nothing was folded, or if ``expected_trials`` was
-        given and the folded trials fall short of it.
+        given and the folded trials fall short of it.  The first call
+        finalizes the accumulator: later calls return the same object
+        and :meth:`add` refuses further parts.
         """
+        if self._final is not None:
+            return self._final
         if self._count == 0:
             raise ValueError("cannot merge an empty sequence of results")
-        if self.expected_trials is None:
-            return EnsembleResult.merge(self._parts)
-        if self._offset != self.expected_trials:
+        if (
+            self.expected_trials is not None
+            and self._offset != self.expected_trials
+        ):
             raise ValueError(
                 f"accumulated {self._offset} of the expected "
                 f"{self.expected_trials} trials"
             )
-        # Every block was copied out of a validated (clipped)
-        # EnsembleResult, so adopt the buffers instead of paying the
-        # public constructor's re-clip copy — that copy alone would
-        # put the peak back at two merged ensembles.
-        return EnsembleResult._from_validated(
-            protocol_name=self._template.protocol_name,
-            allocation=self._template.allocation,
-            checkpoints=self._template.checkpoints,
-            reward_fractions=self._fractions,
-            terminal_stakes=self._terminal,
-            round_unit=self._template.round_unit,
-        )
+        if self._stats is not None:
+            self._final = self._stats
+        elif self.expected_trials is None:
+            self._final = EnsembleResult.merge(self._parts)
+        else:
+            # Every block was copied out of a validated (clipped)
+            # EnsembleResult, so adopt the buffers instead of paying the
+            # public constructor's re-clip copy — that copy alone would
+            # put the peak back at two merged ensembles.  Adoption is
+            # why finalization matters: a live accumulator would keep
+            # writing into the returned ensemble's arrays.
+            self._final = EnsembleResult._from_validated(
+                protocol_name=self._template.protocol_name,
+                allocation=self._template.allocation,
+                checkpoints=self._template.checkpoints,
+                reward_fractions=self._fractions,
+                terminal_stakes=self._terminal,
+                round_unit=self._template.round_unit,
+            )
+        return self._final
 
     def __repr__(self) -> str:
         expected = (
@@ -541,3 +644,24 @@ class MergeAccumulator:
             f"MergeAccumulator(parts={self._count}, "
             f"trials={self._offset}/{expected})"
         )
+
+
+def merge_parts(parts: Sequence) -> object:
+    """Merge homogeneous shard parts, dispatching on their kind.
+
+    ``EnsembleResult`` parts concatenate; ``StatsSummary`` parts fold
+    their sufficient statistics.  Mixing kinds raises — a grid must
+    run entirely under one ``reduce`` mode (the spec fingerprint
+    guarantees the cache never hands back the other kind).
+    """
+    staged = list(parts)
+    if not staged:
+        raise ValueError("cannot merge an empty sequence of results")
+    cls = type(staged[0])
+    for part in staged[1:]:
+        if type(part) is not cls:
+            raise TypeError(
+                f"cannot merge mixed part kinds: {cls.__name__} vs "
+                f"{type(part).__name__}"
+            )
+    return cls.merge(staged)

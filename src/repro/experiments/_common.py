@@ -90,6 +90,9 @@ def run_simulation_grid(
     seeds = [source.spawn_one() for _ in cells]
     runtime = get_default_runtime()
     if runtime is not None:
+        # The runtime's ambient ``reduce`` lands on every spec it
+        # builds — a physics knob, so it enters each spec's fingerprint
+        # and stats grids never collide with full ones in the cache.
         specs = [
             SimulationSpec(
                 protocol=cell.protocol,
@@ -102,6 +105,7 @@ def run_simulation_grid(
                     else tuple(cell.checkpoints)
                 ),
                 seed=seed,
+                reduce=getattr(runtime, "reduce", "full"),
             )
             for cell, seed in zip(cells, seeds)
         ]
@@ -183,6 +187,7 @@ def run_system_grid(
                     else tuple(cell.checkpoints)
                 ),
                 seed=seed,
+                reduce=getattr(runtime, "reduce", "full"),
             )
             for cell, seed in zip(cells, seeds)
         ]

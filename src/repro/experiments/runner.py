@@ -135,6 +135,17 @@ def build_parser() -> argparse.ArgumentParser:
         "pre-streaming path; same bits, higher peak memory)",
     )
     parser.add_argument(
+        "--reduce",
+        default="full",
+        choices=["full", "stats"],
+        help="ensemble artifact shape: 'full' (default) keeps every "
+        "trial's trajectory; 'stats' folds shards straight into "
+        "mergeable sufficient statistics, so figure-scale series come "
+        "out in bounded memory at population-scale trial counts.  A "
+        "physics knob — unlike --backend/--stream it enters cache "
+        "fingerprints, so the two modes never share cache entries",
+    )
+    parser.add_argument(
         "--retries",
         type=int,
         default=None,
@@ -294,7 +305,10 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
         raise SystemExit("--resume requires --cache")
     if args.no_verify and args.cache is None:
         raise SystemExit("--no-verify requires --cache")
-    if args.workers == 1 and args.cache is None:
+    if args.workers == 1 and args.cache is None and args.reduce == "full":
+        # --reduce stats is excepted: the serial fallback would
+        # silently ignore the knob, so it always gets a runner (the
+        # runtime path is where stats shards are produced and merged).
         if args.backend is not None:
             # Mirror MiningGame.simulate: raise rather than silently
             # dropping a knob that cannot take effect in-process.
@@ -340,6 +354,7 @@ def _build_runtime(args) -> Optional[ParallelRunner]:
             retry=args.retries,
             timeout=args.shard_timeout,
             journal=journal,
+            reduce=args.reduce,
         )
     except ValueError as error:
         raise SystemExit(str(error))

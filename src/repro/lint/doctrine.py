@@ -28,6 +28,7 @@ __all__ = [
     "LOCK_MODULES",
     "MUTATOR_METHODS",
     "NUMPY_RANDOM_ALLOWED",
+    "PHYSICS_KNOBS",
     "STORAGE_MODULES",
     "SWALLOW_MODULES",
 ]
@@ -49,6 +50,16 @@ EXECUTION_KNOBS: FrozenSet[str] = frozenset({
     "journal",      # fault-tolerance: journal sidecar
     "verify",       # integrity: digest verification on cache reads
     "compact_bytes",  # integrity: journal auto-compaction threshold
+})
+
+#: Attribute names that change the produced bytes (physics knobs)
+#: despite looking like mode switches.  They must always enter the
+#: fingerprint: listing one in ``_fingerprint_exclude_`` would alias
+#: distinct artifacts under one cache key (FPR005).
+PHYSICS_KNOBS: FrozenSet[str] = frozenset({
+    "reduce",       # SimulationSpec/SystemSpec: full trajectory cube
+                    # vs sufficient statistics — different artifact
+                    # bytes, never one cache entry
 })
 
 #: Modules where no code path may consume ambient entropy: retry

@@ -12,7 +12,11 @@ selector.  These rules check both directions statically against
   strings so they remain statically checkable (FPR002);
 * classes canonicalised through ``vars(obj)`` that assign an
   execution-knob attribute must list it there (FPR003), and must not
-  list attributes they never assign (FPR004).
+  list attributes they never assign (FPR004);
+* physics knobs that merely *look* like mode switches (``reduce``)
+  must never appear in ``_fingerprint_exclude_`` (FPR005) — they
+  change the produced bytes, so excluding one would alias distinct
+  artifacts under a single cache key.
 """
 
 from __future__ import annotations
@@ -21,13 +25,18 @@ import ast
 from typing import Iterable, List, Optional, Set, Tuple
 
 from .core import Finding, LintContext, Rule, register
-from .doctrine import EXECUTION_KNOBS, FINGERPRINTED_CLASS_MODULES
+from .doctrine import (
+    EXECUTION_KNOBS,
+    FINGERPRINTED_CLASS_MODULES,
+    PHYSICS_KNOBS,
+)
 
 __all__ = [
     "KnobInFingerprint",
     "ExcludeNotLiteral",
     "KnobNotExcluded",
     "StaleExclude",
+    "PhysicsKnobExcluded",
 ]
 
 #: The functions in repro/runtime/spec.py that build fingerprint
@@ -222,4 +231,31 @@ class StaleExclude(_FingerprintedClassRule):
                             f"{node.name}._fingerprint_exclude_ lists "
                             f"{name!r} but the class never assigns it "
                             "(stale exclusion)",
+                        )
+
+
+@register
+class PhysicsKnobExcluded(Rule):
+    id = "FPR005"
+    summary = ("physics knobs (reduce) must never be listed in "
+               "_fingerprint_exclude_")
+    scope = ("repro/*",)
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for stmt in node.body:
+                value = _exclude_assignment(stmt)
+                if value is None:
+                    continue
+                for name in _literal_strings(value) or ():
+                    if name in PHYSICS_KNOBS:
+                        yield ctx.finding(
+                            self, stmt,
+                            f"{node.name}._fingerprint_exclude_ lists "
+                            f"physics knob {name!r}: it changes the "
+                            "produced bytes, so excluding it would "
+                            "alias distinct artifacts under one cache "
+                            "key",
                         )

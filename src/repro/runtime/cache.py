@@ -45,6 +45,7 @@ import warnings
 from typing import Optional, Union
 
 from ..core.results import EnsembleResult
+from ..core.stats import StatsSummary
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..sim.persistence import load_result, save_result
@@ -85,7 +86,11 @@ def _fsync_path(path: PathLike, point: str = "cache.fsync") -> None:
 
 
 class ResultCache:
-    """A directory of content-addressed :class:`EnsembleResult` artifacts.
+    """A directory of content-addressed result artifacts.
+
+    Artifacts are :class:`EnsembleResult` trajectories or
+    ``reduce="stats"`` :class:`StatsSummary` sketches — the fingerprint
+    carries the ``reduce`` knob, so one key only ever maps to one kind.
 
     Parameters
     ----------
@@ -189,7 +194,7 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
 
-    def get(self, key: str) -> Optional[EnsembleResult]:
+    def get(self, key: str) -> Union[EnsembleResult, StatsSummary, None]:
         """Load the result stored under ``key``, or None on a miss.
 
         Artifacts whose bytes no longer match their recorded SHA-256
@@ -207,7 +212,7 @@ class ResultCache:
             return result
         return self._get(key)
 
-    def _get(self, key: str) -> Optional[EnsembleResult]:
+    def _get(self, key: str) -> Union[EnsembleResult, StatsSummary, None]:
         path = self.path_for(key)
         if not path.exists():
             self._count("misses")
@@ -321,7 +326,9 @@ class ResultCache:
         if metrics.enabled:
             metrics.counter(f"cache.{counter}").inc()
 
-    def put(self, key: str, result: EnsembleResult) -> pathlib.Path:
+    def put(
+        self, key: str, result: Union[EnsembleResult, StatsSummary]
+    ) -> pathlib.Path:
         """Store ``result`` under ``key``, atomically; returns the path.
 
         Writes land in a ``.tmp`` subdirectory first so a killed run
@@ -347,7 +354,9 @@ class ResultCache:
             return path
         return self._put(key, result)
 
-    def _put(self, key: str, result: EnsembleResult) -> pathlib.Path:
+    def _put(
+        self, key: str, result: Union[EnsembleResult, StatsSummary]
+    ) -> pathlib.Path:
         path = self.path_for(key)
         if self.degraded:
             metrics = get_metrics()
@@ -368,7 +377,10 @@ class ResultCache:
             raise
 
     def _write(
-        self, key: str, result: EnsembleResult, path: pathlib.Path
+        self,
+        key: str,
+        result: Union[EnsembleResult, StatsSummary],
+        path: pathlib.Path,
     ) -> pathlib.Path:
         staging = self.directory / ".tmp"
         staging.mkdir(parents=True, exist_ok=True)

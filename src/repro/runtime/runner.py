@@ -47,7 +47,8 @@ from typing import (
 )
 
 from .._validation import ensure_positive_int
-from ..core.results import EnsembleResult, MergeAccumulator
+from ..core.results import EnsembleResult, MergeAccumulator, merge_parts
+from ..core.stats import ensure_reduce_mode
 from ..obs import ShardEnvelope, ingest_envelope
 from ..obs.metrics import MetricsRegistry, get_metrics, using_worker_metrics
 from ..obs.trace import Tracer, get_tracer, using_worker_tracer
@@ -176,7 +177,7 @@ def _traced_shard(body, spec, shard, index: int, kind: str) -> ShardEnvelope:
     return ShardEnvelope(payload, tracer.drain(), metrics.snapshot())
 
 
-def _simulation_shard_body(spec: SimulationSpec, shard: Shard) -> EnsembleResult:
+def _simulation_shard_body(spec: SimulationSpec, shard: Shard):
     from ..sim.engine import MonteCarloEngine
 
     engine = MonteCarloEngine(
@@ -186,11 +187,14 @@ def _simulation_shard_body(spec: SimulationSpec, shard: Shard) -> EnsembleResult
         seed=RandomSource(shard.seed),
         kernel=spec.kernel,
     )
+    # Under reduce="stats" the engine folds checkpoints straight into a
+    # StatsSummary — the shard's trajectory cube is never allocated.
     return engine.run(
         spec.horizon,
         spec.checkpoints,
         events=spec.events,
         record_terminal_stakes=spec.record_terminal_stakes,
+        reduce=spec.reduce,
     )
 
 
@@ -210,16 +214,24 @@ def _run_simulation_shard(task) -> Any:
     return _traced_shard(_simulation_shard_body, spec, shard, index, "sim")
 
 
-def _system_shard_body(spec: SystemSpec, shard: Shard) -> EnsembleResult:
+def _system_shard_body(spec: SystemSpec, shard: Shard):
     # Calls the experiment's serial path directly — never its public
     # ``run`` — so a forked worker that inherited an ambient runtime
     # cannot recurse into the pool.
-    return spec.experiment._run_serial(
+    result = spec.experiment._run_serial(
         spec.rounds,
         shard.trials,
         checkpoints=spec.checkpoints,
         seed=RandomSource(shard.seed),
     )
+    if spec.reduce == "stats":
+        # The node-level harness produces full per-repeat results; the
+        # shard reduces them before they cross the process boundary, so
+        # only sketch state is pickled and merged.
+        from ..core.stats import StatsSummary
+
+        return StatsSummary.from_ensemble(result)
+    return result
 
 
 def _run_system_shard(task) -> Any:
@@ -295,6 +307,15 @@ class ParallelRunner:
         re-running with the same journal.  None of ``retry``,
         ``timeout`` or ``journal`` enters cache fingerprints: a
         fault-tolerant run shares its artifacts with a plain one.
+    reduce:
+        Ambient default for the specs this runner *builds* (grid
+        helpers, :meth:`run_system`): ``"full"`` keeps whole
+        trajectories, ``"stats"`` keeps mergeable sufficient
+        statistics in O(1) memory per shard.  Unlike every knob above
+        this one is *physics* — it lands on the specs and enters their
+        fingerprints, so stats and full runs never share artifacts.
+        :meth:`run`/:meth:`run_many` honour each spec's own ``reduce``
+        field and ignore this default.
 
     Examples
     --------
@@ -321,6 +342,7 @@ class ParallelRunner:
         retry: Union[RetryPolicy, int, None] = None,
         timeout: Optional[float] = None,
         journal: Union[RunJournal, str, pathlib.Path, None] = None,
+        reduce: str = "full",
     ) -> None:
         if executor is not None and (retry is not None or timeout is not None):
             raise ValueError(
@@ -350,6 +372,11 @@ class ParallelRunner:
         self.default_shards = shards
         self.progress = progress
         self.stream = bool(stream)
+        # Ambient default for spec builders (the experiments grid
+        # helpers, run_system).  A *physics* knob: it lands on the
+        # specs themselves and enters their fingerprints — run()/
+        # run_many() honour each spec's own ``reduce`` field.
+        self.reduce = ensure_reduce_mode(reduce)
         # Tally counters are shared state: the threads backend fires
         # retry callbacks from pool threads, so updates must hold this
         # lock or concurrent completions lose increments.
@@ -455,6 +482,7 @@ class ParallelRunner:
             repeats=repeats,
             checkpoints=None if checkpoints is None else tuple(checkpoints),
             seed=seed,
+            reduce=self.reduce,
         )
         return self.run_system_many([spec], shards=shards, stream=stream)[0]
 
@@ -580,7 +608,7 @@ class ParallelRunner:
                     if not ordinals:
                         # Every shard was journaled: finalize without
                         # dispatching anything.
-                        result = EnsembleResult.merge(
+                        result = merge_parts(
                             [part for _, part in preloaded]
                         )
                         self.cache.put(key, result)
@@ -652,7 +680,7 @@ class ParallelRunner:
             parts = dict(entry.preloaded)
             for offset in range(entry.count):
                 parts[entry.ordinals[offset]] = results[entry.start + offset]
-            result = EnsembleResult.merge(
+            result = merge_parts(
                 [parts[ordinal] for ordinal in range(entry.shards)]
             )
             if tracer.enabled:
@@ -858,7 +886,7 @@ class ParallelRunner:
                 parts[entry.ordinals[offset]] = results[task_index]
             self.cache.put(
                 entry.key,
-                EnsembleResult.merge(
+                merge_parts(
                     [parts[ordinal] for ordinal in range(entry.shards)]
                 ),
             )

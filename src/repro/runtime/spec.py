@@ -76,6 +76,12 @@ class SimulationSpec:
     #: loop).  The two are bit-identical, so the kernel deliberately
     #: does NOT enter the fingerprint — a cached result answers both.
     kernel: str = "batched"
+    #: Artifact shape: "full" keeps every trial's trajectory
+    #: (EnsembleResult), "stats" keeps mergeable sufficient statistics
+    #: (StatsSummary) in O(1) memory per shard.  A *physics* knob — the
+    #: two modes produce different bytes, so unlike ``kernel`` it DOES
+    #: enter the fingerprint (with the sketch parameters it bakes in).
+    reduce: str = "full"
 
     def __post_init__(self) -> None:
         if not isinstance(self.protocol, IncentiveProtocol):
@@ -108,9 +114,11 @@ class SimulationSpec:
                     f"{self.horizon}"
                 )
         object.__setattr__(self, "seed", as_seed_sequence(self.seed))
+        from ..core.stats import ensure_reduce_mode
         from ..sim.kernels import ensure_kernel_mode
 
         ensure_kernel_mode(self.kernel)
+        ensure_reduce_mode(self.reduce)
 
     @property
     def seed_sequence(self) -> np.random.SeedSequence:
@@ -133,12 +141,17 @@ class SystemSpec:
     repeats: int
     checkpoints: Optional[Tuple[int, ...]] = None
     seed: SeedLike = None
+    #: Artifact shape, as on :class:`SimulationSpec`: fingerprinted.
+    reduce: str = "full"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rounds", ensure_positive_int("rounds", self.rounds))
         object.__setattr__(
             self, "repeats", ensure_positive_int("repeats", self.repeats)
         )
+        from ..core.stats import ensure_reduce_mode
+
+        ensure_reduce_mode(self.reduce)
         if self.checkpoints is not None:
             from ..sim.checkpoints import validate_checkpoints
 
@@ -213,6 +226,28 @@ def _canonical(value: Any) -> Any:
     raise TypeError(f"cannot canonicalise {type(value).__name__} for fingerprinting")
 
 
+def _reduce_payload(reduce_mode: str) -> Any:
+    """Canonical fingerprint payload of the ``reduce`` physics knob.
+
+    ``reduce`` changes the produced bytes, so it must enter the content
+    address.  Stats mode additionally bakes the sketch parameters into
+    the artifact (grid resolution, recorded epsilon/margin), so they
+    are folded in too: changing the defaults in :mod:`repro.core.stats`
+    invalidates stats-mode cache entries instead of corrupting them.
+    """
+    if reduce_mode == "full":
+        return "full"
+    from ..core.fairness import DEFAULT_EPSILON
+    from ..core.stats import DEFAULT_BINS, DEFAULT_MARGIN
+
+    return {
+        "mode": "stats",
+        "bins": DEFAULT_BINS,
+        "epsilon": _canonical(DEFAULT_EPSILON),
+        "margin": _canonical(DEFAULT_MARGIN),
+    }
+
+
 def spec_fingerprint(spec: Any, *, shards: Optional[int] = None) -> str:
     """The content address of a spec (hex SHA-256 of its canonical JSON).
 
@@ -222,7 +257,9 @@ def spec_fingerprint(spec: Any, *, shards: Optional[int] = None) -> str:
 
     ``SimulationSpec.kernel`` is deliberately absent from the payload:
     batched and naive advances produce bit-identical arrays, so one
-    cached artifact correctly answers both.
+    cached artifact correctly answers both.  ``reduce`` is deliberately
+    *present*: full and stats artifacts hold different bytes, so the
+    two modes must never share a cache entry.
     """
     if isinstance(spec, SimulationSpec):
         payload = {
@@ -235,6 +272,7 @@ def spec_fingerprint(spec: Any, *, shards: Optional[int] = None) -> str:
             "events": _canonical(spec.events),
             "seed": _canonical(spec.seed_sequence),
             "record_terminal_stakes": spec.record_terminal_stakes,
+            "reduce": _reduce_payload(spec.reduce),
         }
     elif isinstance(spec, SystemSpec):
         payload = {
@@ -244,6 +282,7 @@ def spec_fingerprint(spec: Any, *, shards: Optional[int] = None) -> str:
             "repeats": spec.repeats,
             "checkpoints": _canonical(spec.checkpoints),
             "seed": _canonical(spec.seed_sequence),
+            "reduce": _reduce_payload(spec.reduce),
         }
     else:
         raise TypeError(

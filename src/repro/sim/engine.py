@@ -23,6 +23,7 @@ import numpy as np
 from .._validation import ensure_positive_int
 from ..core.miners import Allocation
 from ..core.results import EnsembleResult
+from ..core.stats import StatsCollector, ensure_reduce_mode
 from ..obs.trace import get_tracer
 from ..protocols.base import EnsembleState, IncentiveProtocol
 from .checkpoints import linear_checkpoints, validate_checkpoints
@@ -95,7 +96,8 @@ class MonteCarloEngine:
         *,
         events: Sequence[GameEvent] = (),
         record_terminal_stakes: bool = True,
-    ) -> EnsembleResult:
+        reduce: str = "full",
+    ):
         """Run every trial for ``horizon`` rounds.
 
         Parameters
@@ -111,12 +113,20 @@ class MonteCarloEngine:
             :mod:`repro.sim.events`).
         record_terminal_stakes:
             Whether to keep the final stake matrix in the result.
+        reduce:
+            ``"full"`` (default) materialises the ``(trials,
+            checkpoints, miners)`` trajectory cube into an
+            :class:`EnsembleResult`; ``"stats"`` folds each checkpoint
+            straight into mergeable sufficient statistics and returns
+            a :class:`~repro.core.stats.StatsSummary` — the cube is
+            never allocated, so memory stays O(trials x miners).
 
         Returns
         -------
-        EnsembleResult
+        EnsembleResult or StatsSummary
         """
         horizon = ensure_positive_int("horizon", horizon)
+        ensure_reduce_mode(reduce)
         if checkpoints is None:
             checkpoint_list = linear_checkpoints(horizon)
         else:
@@ -131,9 +141,19 @@ class MonteCarloEngine:
         rng = self._source.spawn_one().generator()
         state = self.protocol.make_state(self.allocation, self.trials)
 
-        fractions = np.empty(
-            (self.trials, len(checkpoint_list), self.allocation.size)
-        )
+        collector: Optional[StatsCollector] = None
+        fractions: Optional[np.ndarray] = None
+        if reduce == "stats":
+            collector = StatsCollector(
+                protocol_name=self.protocol.name,
+                allocation=self.allocation,
+                checkpoints=checkpoint_list,
+                round_unit=self.protocol.round_unit,
+            )
+        else:
+            fractions = np.empty(
+                (self.trials, len(checkpoint_list), self.allocation.size)
+            )
         boundaries = plan_segments(checkpoint_list, event_list)
         checkpoint_positions = {c: i for i, c in enumerate(checkpoint_list)}
         pending_events = list(event_list)
@@ -153,8 +173,15 @@ class MonteCarloEngine:
             position = checkpoint_positions.get(boundary)
             if position is not None:
                 issued = self.protocol.total_issued(boundary)
-                fractions[:, position, :] = state.rewards / issued
+                if collector is not None:
+                    collector.observe(position, state.rewards / issued)
+                else:
+                    fractions[:, position, :] = state.rewards / issued
 
+        if collector is not None:
+            if record_terminal_stakes:
+                collector.observe_terminal(state.stakes)
+            return collector.build(self.trials)
         terminal = state.stakes.copy() if record_terminal_stakes else None
         return EnsembleResult(
             protocol_name=self.protocol.name,
@@ -204,7 +231,8 @@ def simulate(
     seed: SeedLike = None,
     record_terminal_stakes: bool = True,
     kernel: str = "batched",
-) -> EnsembleResult:
+    reduce: str = "full",
+):
     """One-call convenience wrapper around :class:`MonteCarloEngine`."""
     engine = MonteCarloEngine(
         protocol, allocation, trials=trials, seed=seed, kernel=kernel
@@ -214,4 +242,5 @@ def simulate(
         checkpoints,
         events=events,
         record_terminal_stakes=record_terminal_stakes,
+        reduce=reduce,
     )

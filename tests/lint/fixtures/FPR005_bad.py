@@ -1,0 +1,9 @@
+"""Bad: a physics knob excluded from the content address."""
+
+
+class SystemThing:
+    _fingerprint_exclude_ = frozenset({"reduce"})
+
+    def __init__(self, reward, reduce="full"):
+        self.reward = float(reward)
+        self.reduce = str(reduce)

@@ -1,0 +1,7 @@
+"""Good: the physics knob stays inside the content address."""
+
+
+class SystemThing:
+    def __init__(self, reward, reduce="full"):
+        self.reward = float(reward)
+        self.reduce = str(reduce)

@@ -31,6 +31,7 @@ CASES = {
     "FPR002": "repro/chainsim/harness.py",
     "FPR003": "repro/chainsim/harness.py",
     "FPR004": "repro/chainsim/harness.py",
+    "FPR005": "repro/chainsim/harness.py",
     "PKL001": "repro/runtime/faults.py",
     "PKL002": "repro/runtime/faults.py",
     "PKL003": "repro/runtime/faults.py",
